@@ -1,0 +1,58 @@
+"""E8 — Figure 2: padding stretches distances by the gadget depth.
+
+Pads a cycle with gadgets of growing height and measures how base-graph
+distances dilate: the physical distance between gadget centers should
+be ~ (2h + 1) per base hop, the communication overhead that Theorem 1's
+complexity product comes from.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import report
+from repro.analysis import render_table
+from repro.core import pad_graph
+from repro.gadgets import build_gadget
+from repro.generators import cycle
+from repro.local import bfs_distances
+
+
+def test_distance_dilation(benchmark):
+    base = cycle(8)
+    rows = []
+    factors = []
+    for height in (2, 3, 4, 5, 6):
+        gadgets = [build_gadget(3, height) for _ in base.nodes()]
+        padded = pad_graph(base, gadgets)
+        centers = [
+            padded.padded_node(v, gadgets[v].center) for v in base.nodes()
+        ]
+        dist = bfs_distances(padded.graph, centers[0])
+        base_dist = bfs_distances(base, 0)
+        per_hop = []
+        for v in base.nodes():
+            if v == 0:
+                continue
+            per_hop.append(dist[centers[v]] / base_dist[v])
+        factor = sum(per_hop) / len(per_hop)
+        factors.append(factor)
+        rows.append(
+            [
+                height,
+                padded.graph.num_nodes,
+                2 * height + 1,
+                round(factor, 2),
+            ]
+        )
+    report(
+        render_table(
+            ["height h", "padded n", "expected 2h+1", "measured stretch"],
+            rows,
+            title="E8  Figure 2: distance dilation through the padding",
+        )
+    )
+    for (h_row, factor) in zip(rows, factors):
+        expected = h_row[2]
+        assert 0.8 * expected <= factor <= 1.2 * expected
+
+    gadgets = [build_gadget(3, 4) for _ in base.nodes()]
+    benchmark(lambda: pad_graph(base, gadgets))

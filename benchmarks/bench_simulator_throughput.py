@@ -1,0 +1,67 @@
+"""E13 — substrate microbenchmarks: the LOCAL-model machinery itself."""
+
+from __future__ import annotations
+
+import random
+
+from benchmarks.conftest import report
+from repro.analysis import render_table
+from repro.generators import cycle, random_regular
+from repro.lcl import Labeling, verify
+from repro.local import Instance, SyncEngine, ViewOracle, bfs_distances
+from repro.local.identifiers import sequential_ids
+from repro.problems import SinklessOrientation, DeterministicSinklessSolver
+
+
+def test_view_gathering(benchmark):
+    graph = random_regular(2048, 3, random.Random(0))
+
+    def gather():
+        oracle = ViewOracle(graph)
+        for v in range(0, 2048, 64):
+            oracle.view(v, 8)
+        return oracle.rounds()
+
+    assert benchmark(gather) == 8
+
+
+def test_bfs_full_graph(benchmark):
+    graph = random_regular(4096, 3, random.Random(1))
+    result = benchmark(lambda: bfs_distances(graph, 0))
+    assert len(result) == 4096
+
+
+def test_message_engine_flood(benchmark):
+    from tests.test_views_simulator import _FloodNode
+
+    graph = cycle(512)
+    instance = Instance(graph, sequential_ids(512))
+
+    def flood():
+        return SyncEngine(instance, _FloodNode).run().rounds
+
+    assert benchmark(flood) == 256
+
+
+def test_verifier_throughput(benchmark):
+    graph = random_regular(2048, 3, random.Random(2))
+    instance = Instance.simple(graph)
+    outputs = DeterministicSinklessSolver().solve(instance).outputs
+    problem = SinklessOrientation().problem()
+
+    def check():
+        return verify(problem, graph, Labeling(graph), outputs).ok
+
+    assert benchmark(check)
+    report(
+        render_table(
+            ["component", "instance"],
+            [
+                ["view oracle", "2048-node cubic, radius 8 views"],
+                ["bfs", "4096-node cubic, full sweep"],
+                ["sync engine", "512-cycle flooding (256 rounds)"],
+                ["ne-LCL verifier", "2048-node cubic, sinkless outputs"],
+            ],
+            title="E13  substrate microbenchmarks (timings in the table above)",
+        )
+    )

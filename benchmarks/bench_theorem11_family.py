@@ -1,0 +1,97 @@
+"""E4/E5 — Theorem 11: the Pi_i family and the conjecture refutation.
+
+Regenerates, for Pi_1 and Pi_2 (and a Pi_3 spot-check), the measured
+deterministic and randomized round series on Lemma 5 hard instances,
+the growth fits, and the D(n)/R(n) ratio series that refutes the
+"exponential or nothing" conjecture: the ratio grows, but slowly
+(Theta(log n / log log n)), instead of being 1 or exponential.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import report
+from repro.analysis import fit_growth, render_table, run_sweep
+from repro.core.theory import gap_ratio_prediction
+from repro.generators.hard import padded_hard_instance
+
+PI1_NS = [2**k for k in range(6, 14)]
+PI2_NS = [300, 700, 1500, 3300, 7500, 16000, 32000]
+POLYLOG = ["1", "log*", "loglog", "log", "log loglog", "log^2", "log^2 loglog"]
+
+
+def _verify_level(level):
+    def check(instance, result):
+        verdict = level.verify(instance.graph, instance.inputs, result.outputs)
+        assert verdict.ok, verdict.summary()
+
+    return check
+
+
+def _series(level, ns, seeds=(0, 1)):
+    factory = lambda n, s: padded_hard_instance(level, n, s)
+    det = run_sweep(level.det_solver, factory, ns, seeds, _verify_level(level))
+    rand = run_sweep(level.rand_solver, factory, ns, seeds, _verify_level(level))
+    return det, rand
+
+
+def test_family_separation_table(family_levels, benchmark):
+    pi1, pi2, pi3 = family_levels
+    det1, rand1 = _series(pi1, PI1_NS)
+    det2, rand2 = _series(pi2, PI2_NS)
+
+    rows = []
+    for n, d, r in zip(det1.ns(), det1.means(), rand1.means()):
+        rows.append(["Pi_1", n, d, r, round(d / r, 2), round(gap_ratio_prediction(n), 2)])
+    for n, d, r in zip(det2.ns(), det2.means(), rand2.means()):
+        rows.append(["Pi_2", n, d, r, round(d / r, 2), round(gap_ratio_prediction(n), 2)])
+    fits = {
+        "Pi_1 det": fit_growth(det1.ns(), det1.means(), POLYLOG)[0],
+        "Pi_1 rand": fit_growth(rand1.ns(), rand1.means(), POLYLOG)[0],
+        "Pi_2 det": fit_growth(det2.ns(), det2.means(), POLYLOG)[0],
+        "Pi_2 rand": fit_growth(rand2.ns(), rand2.means(), POLYLOG)[0],
+    }
+    fit_lines = "\n".join(f"    {k}: {v}" for k, v in fits.items())
+    report(
+        render_table(
+            ["level", "n", "det rounds", "rand rounds", "D/R", "log/loglog"],
+            rows,
+            title=(
+                "E4/E5  Theorem 11: Pi_i with det Theta(log^i n), rand "
+                "Theta(log^(i-1) n loglog n)\n" + fit_lines
+            ),
+        )
+    )
+    # Pi_1: clean separation
+    assert fits["Pi_1 det"].name in ("log", "log loglog")
+    assert fits["Pi_1 rand"].name in ("loglog", "log*", "1")
+    # Pi_2: both are polylog but the det series grows strictly faster;
+    # the D/R ratio must grow along the sweep (the subexponential gap)
+    ratio2 = [d / r for d, r in zip(det2.means(), rand2.means())]
+    assert ratio2[-1] > ratio2[0] >= 0.99
+    assert det2.means()[-1] > det2.means()[0]
+    # Pi_2's measured det dominates Pi_1's at every common scale
+    assert det2.means()[-1] > det1.means()[-1]
+
+    instance = padded_hard_instance(family_levels[1], 2000, 0)
+    benchmark(lambda: family_levels[1].det_solver.solve(instance))
+
+
+def test_pi3_spot_check(family_levels, benchmark):
+    pi3 = family_levels[2]
+    instance = padded_hard_instance(pi3, 30_000, 0)
+    det = benchmark.pedantic(
+        lambda: pi3.det_solver.solve(instance), rounds=1, iterations=1
+    )
+    rand = pi3.rand_solver.solve(instance)
+    verdict = pi3.verify(instance.graph, instance.inputs, det.outputs)
+    assert verdict.ok, verdict.summary()
+    verdict = pi3.verify(instance.graph, instance.inputs, rand.outputs)
+    assert verdict.ok, verdict.summary()
+    report(
+        render_table(
+            ["level", "n", "det rounds", "rand rounds"],
+            [["Pi_3", instance.graph.num_nodes, det.rounds, rand.rounds]],
+            title="E5  Pi_3 spot check (doubly padded sinkless orientation)",
+        )
+    )
+    assert det.rounds >= rand.rounds

@@ -1,0 +1,112 @@
+"""E3 — Theorem 1 / Lemma 4: the multiplicative padding overhead.
+
+The padded solver's measured rounds should track
+``base rounds x gadget depth``: padding multiplies the base problem's
+complexity by Theta(d(n)).  This bench measures the product structure
+directly (the solver reports both factors) across gadget heights, and
+runs the Lemma 5 reduction once to confirm the transfer direction.
+"""
+
+from __future__ import annotations
+
+import random
+
+from benchmarks.conftest import report
+from repro.analysis import render_table
+from repro.core import PaddedProblem, PaddedSolver, hard_instance, simulate_padded_algorithm
+from repro.core.hard_instances import _lifted_ids
+from repro.gadgets import LogGadgetFamily, build_gadget
+from repro.core.padding import pad_graph
+from repro.generators import random_regular
+from repro.local import Instance
+from repro.local.identifiers import sequential_ids
+from repro.problems import DeterministicSinklessSolver, SinklessOrientation
+from repro.util.rng import NodeRng
+
+FAMILY = LogGadgetFamily(3)
+PROBLEM = PaddedProblem(SinklessOrientation().problem(), FAMILY)
+
+
+def _padded_instance(base, height):
+    gadgets = [build_gadget(3, height) for _ in base.nodes()]
+    padded = pad_graph(base, gadgets)
+    return padded, Instance(
+        padded.graph,
+        sequential_ids(padded.graph.num_nodes),
+        padded.inputs,
+        None,
+        NodeRng(0),
+    )
+
+
+def test_multiplicative_overhead(benchmark):
+    base = random_regular(16, 3, random.Random(2))
+    solver = PaddedSolver(PROBLEM, DeterministicSinklessSolver())
+    rows = []
+    overheads = []
+    for height in (2, 3, 4, 5, 6, 7):
+        padded, instance = _padded_instance(base, height)
+        result = solver.solve(instance)
+        verdict = PROBLEM.verify(padded.graph, padded.inputs, result.outputs)
+        assert verdict.ok, verdict.summary()
+        base_rounds = result.extras["base_rounds"]
+        depth = 2 * height
+        overhead = result.rounds / max(base_rounds, 1)
+        overheads.append((depth, overhead))
+        rows.append(
+            [
+                instance.graph.num_nodes,
+                height,
+                depth,
+                base_rounds,
+                result.rounds,
+                round(overhead, 2),
+            ]
+        )
+    report(
+        render_table(
+            ["padded n", "height h", "port dist 2h", "base rounds", "Pi' rounds", "overhead"],
+            rows,
+            title=(
+                "E3  Theorem 1: padding multiplies complexity by the gadget "
+                "depth Theta(d(n))"
+            ),
+        )
+    )
+    # the overhead factor must grow ~linearly with the depth
+    (d0, o0), (d1, o1) = overheads[0], overheads[-1]
+    assert o1 > o0
+    assert 0.3 * (d1 / d0) <= o1 / o0 <= 3.0 * (d1 / d0)
+
+    padded, instance = _padded_instance(base, 4)
+    benchmark(lambda: solver.solve(instance))
+
+
+def test_lemma5_reduction_transfer(benchmark):
+    base_graph = random_regular(16, 3, random.Random(4))
+    base_instance = Instance.simple(base_graph, seed=1)
+    solver = PaddedSolver(PROBLEM, DeterministicSinklessSolver())
+    base_result, padded_result = benchmark.pedantic(
+        lambda: simulate_padded_algorithm(
+            PROBLEM, solver, FAMILY, base_instance, target_n=4096
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        render_table(
+            ["quantity", "value"],
+            [
+                ["base graph n", base_graph.num_nodes],
+                ["padded n", 4096],
+                ["padded rounds", padded_result.rounds],
+                ["gadget depth", base_result.extras["depth"]],
+                ["induced base rounds", base_result.rounds],
+            ],
+            title=(
+                "E3  Lemma 5 reduction: a Pi' algorithm induces a Pi "
+                "algorithm at rounds/depth"
+            ),
+        )
+    )
+    assert base_result.rounds <= padded_result.rounds

@@ -1,0 +1,44 @@
+"""Shared helpers for the benchmark suite.
+
+Every bench regenerates a table or series from the paper (the
+experiment index lives in DESIGN.md).  ``report`` collects them and a
+``pytest_terminal_summary`` hook prints everything after the benchmark
+timings, so the tables always land in ``bench_output.txt`` regardless
+of pytest's output capture.  They are also appended to
+``benchmarks/results.txt`` for later inspection.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+_REPORTS: list[str] = []
+_RESULTS_FILE = os.path.join(os.path.dirname(__file__), "results.txt")
+
+
+def report(text: str) -> None:
+    _REPORTS.append(text)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.section("reproduction tables (paper vs measured)")
+    for text in _REPORTS:
+        terminalreporter.write_line("")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)
+    try:
+        with open(_RESULTS_FILE, "w") as handle:
+            handle.write("\n\n".join(_REPORTS) + "\n")
+    except OSError:  # pragma: no cover - the report is best-effort
+        pass
+
+
+@pytest.fixture(scope="session")
+def family_levels():
+    from repro.core import build_family
+
+    return build_family(3)

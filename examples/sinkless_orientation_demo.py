@@ -1,0 +1,51 @@
+"""The base separation: sinkless orientation, deterministic vs randomized.
+
+The deterministic solver scans Theta(log n) far (until a cycle closes
+in its view); the randomized one flips coins and repairs the few
+residual sinks within Theta(log log n).  This demo runs both on random
+cubic graphs of growing size and prints the measured round counts —
+the paper's Figure 1 sinkless-orientation dot, live.
+
+Run:  python examples/sinkless_orientation_demo.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import render_table
+from repro.generators.hard import cubic_instance
+from repro.lcl import Labeling, verify
+from repro.problems import (
+    DeterministicSinklessSolver,
+    RandomizedSinklessSolver,
+    SinklessOrientation,
+)
+
+
+def main() -> None:
+    problem = SinklessOrientation().problem()
+    rows = []
+    for exponent in range(6, 13):
+        n = 2**exponent
+        instance = cubic_instance(n, seed=0)
+        det = DeterministicSinklessSolver().solve(instance)
+        rand = RandomizedSinklessSolver().solve(instance)
+        for result in (det, rand):
+            verdict = verify(
+                problem, instance.graph, Labeling(instance.graph), result.outputs
+            )
+            assert verdict.ok, verdict.summary()
+        rows.append([n, det.rounds, rand.rounds, round(det.rounds / rand.rounds, 2)])
+    print(
+        render_table(
+            ["n", "deterministic", "randomized", "gap"],
+            rows,
+            title=(
+                "sinkless orientation on random cubic graphs\n"
+                "paper: det Theta(log n) vs rand Theta(log log n)"
+            ),
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

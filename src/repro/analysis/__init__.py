@@ -1,0 +1,27 @@
+"""Measurement and reporting: growth fits, sweeps, the Figure 1 table."""
+
+from repro.analysis.growth import (
+    GROWTH_FUNCTIONS,
+    GrowthFit,
+    best_fit,
+    fit_growth,
+    ratio_series,
+)
+from repro.analysis.landscape import LandscapeRow, measure_row, render_landscape
+from repro.analysis.sweep import Sweep, SweepPoint, run_sweep
+from repro.analysis.tables import render_table
+
+__all__ = [
+    "GROWTH_FUNCTIONS",
+    "GrowthFit",
+    "best_fit",
+    "fit_growth",
+    "ratio_series",
+    "LandscapeRow",
+    "measure_row",
+    "render_landscape",
+    "Sweep",
+    "SweepPoint",
+    "run_sweep",
+    "render_table",
+]

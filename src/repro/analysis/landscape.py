@@ -1,0 +1,97 @@
+"""Figure 1 assembly: the measured complexity landscape.
+
+Each row of the landscape pairs a problem with its measured
+deterministic and randomized complexities (best-fit growth class over
+an n-sweep) and the paper's placement, so benches can print paper vs
+measured side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.analysis.growth import best_fit, fit_growth
+from repro.analysis.sweep import Sweep, run_sweep
+from repro.analysis.tables import render_table
+from repro.local.algorithm import Instance, LocalAlgorithm
+
+__all__ = ["LandscapeRow", "measure_row", "render_landscape"]
+
+
+@dataclass
+class LandscapeRow:
+    problem: str
+    paper_det: str
+    paper_rand: str
+    det_sweep: Sweep | None
+    rand_sweep: Sweep | None
+    candidates: Sequence[str] | None = None
+
+    def measured_det(self) -> str:
+        return self._measured(self.det_sweep)
+
+    def measured_rand(self) -> str:
+        return self._measured(self.rand_sweep)
+
+    def _measured(self, sweep: Sweep | None) -> str:
+        if sweep is None:
+            return "-"
+        fit = best_fit(sweep.ns(), sweep.means(), self.candidates)
+        return fit.name
+
+    def row(self) -> list:
+        return [
+            self.problem,
+            self.paper_det,
+            self.measured_det(),
+            self.paper_rand,
+            self.measured_rand(),
+        ]
+
+
+def measure_row(
+    problem: str,
+    paper_det: str,
+    paper_rand: str,
+    det_solver: LocalAlgorithm | None,
+    rand_solver: LocalAlgorithm | None,
+    instance_factory: Callable[[int, int], Instance],
+    ns: Sequence[int],
+    seeds: Sequence[int] = (0, 1, 2),
+    candidates: Sequence[str] | None = None,
+    verify: Callable[[Instance, object], None] | None = None,
+) -> LandscapeRow:
+    det_sweep = (
+        run_sweep(det_solver, instance_factory, ns, seeds, verify)
+        if det_solver
+        else None
+    )
+    rand_sweep = (
+        run_sweep(rand_solver, instance_factory, ns, seeds, verify)
+        if rand_solver
+        else None
+    )
+    return LandscapeRow(
+        problem=problem,
+        paper_det=paper_det,
+        paper_rand=paper_rand,
+        det_sweep=det_sweep,
+        rand_sweep=rand_sweep,
+        candidates=candidates,
+    )
+
+
+def render_landscape(rows: Sequence[LandscapeRow]) -> str:
+    headers = [
+        "problem",
+        "paper det",
+        "measured det",
+        "paper rand",
+        "measured rand",
+    ]
+    return render_table(
+        headers,
+        [row.row() for row in rows],
+        title="Figure 1 - the complexity landscape (paper vs measured)",
+    )

@@ -1,0 +1,78 @@
+"""n-sweeps: run a solver across sizes and seeds, collect round counts."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.local.algorithm import Instance, LocalAlgorithm
+
+__all__ = ["SweepPoint", "Sweep", "run_sweep"]
+
+InstanceFactory = Callable[[int, int], Instance]
+
+
+@dataclass
+class SweepPoint:
+    n: int
+    trials: int
+    rounds_mean: float
+    rounds_max: int
+    rounds_min: int
+
+    def row(self) -> list:
+        return [self.n, self.trials, round(self.rounds_mean, 2), self.rounds_max]
+
+
+@dataclass
+class Sweep:
+    solver_name: str
+    points: list[SweepPoint]
+
+    def ns(self) -> list[int]:
+        return [p.n for p in self.points]
+
+    def means(self) -> list[float]:
+        return [p.rounds_mean for p in self.points]
+
+    def maxima(self) -> list[int]:
+        return [p.rounds_max for p in self.points]
+
+
+def run_sweep(
+    solver: LocalAlgorithm,
+    instance_factory: InstanceFactory,
+    ns: Sequence[int],
+    seeds: Sequence[int] = (0, 1, 2),
+    verify: Callable[[Instance, object], None] | None = None,
+) -> Sweep:
+    """Measure ``solver`` on instances of each size.
+
+    ``instance_factory(n, seed)`` builds one instance; the reported
+    ``n`` is the actual instance size (which may differ slightly from
+    the requested one, e.g. for gadget-rounded paddings).  ``verify``
+    (if given) receives ``(instance, result)`` after every run and
+    should raise on invalid outputs, so sweeps never report rounds of
+    wrong solutions.
+    """
+    points = []
+    for n in ns:
+        rounds = []
+        actual_n = n
+        for seed in seeds:
+            instance = instance_factory(n, seed)
+            actual_n = instance.graph.num_nodes
+            result = solver.solve(instance)
+            if verify is not None:
+                verify(instance, result)
+            rounds.append(result.rounds)
+        points.append(
+            SweepPoint(
+                n=actual_n,
+                trials=len(seeds),
+                rounds_mean=sum(rounds) / len(rounds),
+                rounds_max=max(rounds),
+                rounds_min=min(rounds),
+            )
+        )
+    return Sweep(solver_name=solver.name, points=points)

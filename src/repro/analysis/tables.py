@@ -1,0 +1,47 @@
+"""Aligned plain-text tables for the benchmark reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned text table (numbers right-aligned)."""
+    cells = [[_fmt(x) for x in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(
+            "  ".join(
+                cell.rjust(w) if _numeric(cell) else cell.ljust(w)
+                for cell, w in zip(row, widths)
+            )
+        )
+    return "\n".join(lines)
+
+
+def _fmt(x: object) -> str:
+    if isinstance(x, float):
+        return f"{x:.2f}"
+    return str(x)
+
+
+def _numeric(cell: str) -> bool:
+    try:
+        float(cell)
+        return True
+    except ValueError:
+        return False

@@ -1,0 +1,107 @@
+"""The problem family Pi_i of Section 5 (Theorem 11).
+
+Pi_1 is sinkless orientation; Pi_{i+1} applies the padding construction
+(Theorem 1) with the (log, Delta)-gadget family of Theorem 6.  Each
+level carries a deterministic and a randomized solver, built by wrapping
+the previous level's solvers in the generic Lemma 4 algorithm, and a
+verifier (the ne-LCL verifier at level 1, the Pi' verifier above).
+
+The predicted complexities are deterministic Theta(log^i n) and
+randomized Theta(log^{i-1} n log log n); the Theorem 11 benchmark sweeps
+``solve_on_hard_instance`` over n and fits the measured rounds against
+exactly these shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from repro.core.padded_problem import PaddedProblem
+from repro.core.padded_solver import PaddedSolver
+from repro.core.theory import deterministic_prediction, randomized_prediction
+from repro.gadgets.family import LogGadgetFamily
+from repro.lcl.assignment import Labeling
+from repro.lcl.problem import NeLCL
+from repro.lcl.verifier import Verdict
+from repro.lcl.verifier import verify as lcl_verify
+from repro.local.algorithm import Instance, LocalAlgorithm, RunResult
+from repro.local.graphs import PortGraph
+from repro.problems.sinkless import SinklessOrientation
+from repro.problems.sinkless_solvers import (
+    DeterministicSinklessSolver,
+    RandomizedSinklessSolver,
+)
+
+__all__ = ["FamilyLevel", "build_family", "pi_family_level"]
+
+
+@dataclass
+class FamilyLevel:
+    """One level Pi_i with its solvers, verifier, and predictions."""
+
+    index: int
+    problem: "NeLCL | PaddedProblem"
+    det_solver: LocalAlgorithm
+    rand_solver: LocalAlgorithm
+    family: LogGadgetFamily | None
+
+    @property
+    def name(self) -> str:
+        return f"Pi_{self.index}"
+
+    def verify(
+        self, graph: PortGraph, inputs: Labeling | None, outputs: Labeling
+    ) -> Verdict:
+        if inputs is None:
+            inputs = Labeling(graph)
+        if isinstance(self.problem, PaddedProblem):
+            return self.problem.verify(graph, inputs, outputs)
+        return lcl_verify(self.problem, graph, inputs, outputs)
+
+    def predicted_det(self, n: int) -> float:
+        return deterministic_prediction(self.index, n)
+
+    def predicted_rand(self, n: int) -> float:
+        return randomized_prediction(self.index, n)
+
+
+def build_family(levels: int, delta: int = 3) -> list[FamilyLevel]:
+    """Pi_1 .. Pi_levels over (log, .)-gadget families.
+
+    Level 2 pads degree-<=delta base graphs.  Padded graphs themselves
+    have maximum degree 5 (an interior sub-gadget node sees Parent,
+    Left, Right, LChild, RChild), so levels >= 3 use a Delta >= 5
+    family; the degree then stays at 5 for every further level.
+    """
+    if levels < 1:
+        raise ValueError("need at least one level")
+    base_problem = SinklessOrientation().problem()
+    out = [
+        FamilyLevel(
+            index=1,
+            problem=base_problem,
+            det_solver=DeterministicSinklessSolver(),
+            rand_solver=RandomizedSinklessSolver(),
+            family=None,
+        )
+    ]
+    for i in range(2, levels + 1):
+        level_delta = delta if i == 2 else max(delta, 5)
+        gadget_family = LogGadgetFamily(level_delta)
+        previous = out[-1]
+        problem = PaddedProblem(previous.problem, gadget_family)
+        out.append(
+            FamilyLevel(
+                index=i,
+                problem=problem,
+                det_solver=PaddedSolver(problem, previous.det_solver),
+                rand_solver=PaddedSolver(problem, previous.rand_solver),
+                family=gadget_family,
+            )
+        )
+    return out
+
+
+def pi_family_level(index: int, delta: int = 3) -> FamilyLevel:
+    """The single level Pi_index (hard instances come from
+    :func:`repro.generators.hard.padded_hard_instance`)."""
+    return build_family(index, delta)[-1]

@@ -1,0 +1,426 @@
+"""The padded problem Pi' (paper Section 3.3).
+
+Given a base ne-LCL Pi and a (d, Delta)-gadget family, Pi' asks each
+node to either take part in a locally checkable proof that its gadget
+is invalid, or to contribute to a solution of Pi on the virtual graph
+obtained by contracting the valid gadgets.  Output labels:
+
+* every node: ``PaddedOutput(list=PadList(...), port_err, psi)`` —
+  the Sigma_list tuple, the PortErr1/PortErr2/NoPortErr flag, and the
+  node's Psi_G output;
+* every edge / half-edge: ``BLANK`` on port edges, a Psi_G label on
+  gadget edges (``GADOK`` or an error marker / pointer replication).
+
+``verify_padded`` implements constraints 1-6 of Section 3.3 verbatim,
+with two documented interpretive choices:
+
+* Psi_G is checked in its constant-radius node-output form (Section
+  4.4); the node-edge lowering of Section 4.6 lives in
+  ``repro.gadgets.ne_encoding`` and is exercised separately.
+* In constraint 6, the cross-edge comparisons for a port edge apply
+  when the respective port indices are in the endpoints' S-sets (the
+  paper's alpha-notation presumes this; when a port is not in S,
+  constraints 3-5 already pin the inconsistency down).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, NamedTuple
+
+from repro.core.padding import GADEDGE, PORTEDGE
+from repro.core.projection import edge_tag, gadget_part, pi_part
+from repro.core.virtual_graph import (
+    PORT_ERR1,
+    PORT_ERR2,
+    PORT_OK,
+    _gadget_scope,
+)
+from repro.gadgets.family import GadgetFamily
+from repro.gadgets.labels import GADOK, Port
+from repro.gadgets.psi import verify_psi
+from repro.lcl.assignment import Labeling
+from repro.lcl.labels import BLANK, EMPTY
+from repro.lcl.problem import NeLCL
+from repro.lcl.verifier import Verdict, Violation
+from repro.lcl.verifier import verify as lcl_verify
+from repro.local.graphs import HalfEdge, PortGraph
+
+__all__ = ["PadList", "PaddedOutput", "ERRMARK", "PaddedProblem", "verify_padded"]
+
+#: the Sigma^G_E,out marker for gadget edges inside invalid gadgets
+ERRMARK = "PsiErr"
+
+
+class PadList(NamedTuple):
+    """The Sigma_list part of a node's output (Section 3.3).
+
+    ``ports`` is the set S of valid port indices (1-based).  The iota
+    fields copy the Pi-inputs of the gadget's interface (node input of
+    Port_1, edge and half-edge inputs of the port edges); the ``o``
+    fields carry the virtual node's Pi-outputs.  Arrays are indexed by
+    port index - 1 and have length Delta.
+    """
+
+    ports: frozenset
+    iota_v: Hashable
+    iota_e: tuple
+    iota_b: tuple
+    o_v: Hashable
+    o_e: tuple
+    o_b: tuple
+
+
+class PaddedOutput(NamedTuple):
+    list: PadList
+    port_err: str  # PortErr1 | PortErr2 | NoPortErr
+    psi: Hashable  # GADOK | ERROR | Pointer
+
+
+def _is_lerr(label: Hashable) -> bool:
+    """Is this element output from L_Err (an error label of Psi_G)?"""
+    if label in (GADOK, BLANK, EMPTY):
+        return False
+    return True
+
+
+def empty_pad_list(delta: int) -> PadList:
+    return PadList(
+        ports=frozenset(),
+        iota_v=EMPTY,
+        iota_e=(EMPTY,) * delta,
+        iota_b=(EMPTY,) * delta,
+        o_v=EMPTY,
+        o_e=(EMPTY,) * delta,
+        o_b=(EMPTY,) * delta,
+    )
+
+
+@dataclass
+class PaddedProblem:
+    """Pi' = pad(Pi, G).  Carries the base problem and the family.
+
+    ``base`` is either an ne-LCL or another :class:`PaddedProblem`
+    (the Section 5 recursion).
+    """
+
+    base: "NeLCL | PaddedProblem"
+    family: GadgetFamily
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            self.name = f"padded({self.base.name}, {self.family.name})"
+
+    @property
+    def delta(self) -> int:
+        return self.family.delta
+
+    def empty_list(self) -> PadList:
+        return empty_pad_list(self.delta)
+
+    def verify(
+        self, graph: PortGraph, inputs: Labeling, outputs: Labeling
+    ) -> Verdict:
+        return verify_padded(self, graph, inputs, outputs)
+
+
+def _psi_outputs_of_component(
+    outputs: Labeling, component: list[int]
+) -> dict[int, Hashable]:
+    result = {}
+    for v in component:
+        label = outputs.node(v)
+        result[v] = label.psi if isinstance(label, PaddedOutput) else None
+    return result
+
+
+def verify_padded(
+    problem: PaddedProblem,
+    graph: PortGraph,
+    inputs: Labeling,
+    outputs: Labeling,
+    max_violations: int | None = None,
+) -> Verdict:
+    """Check constraints 1-6 of Section 3.3."""
+    delta = problem.delta
+    violations: list[Violation] = []
+
+    def add(kind: str, where, message: str) -> bool:
+        violations.append(Violation(kind, where, message))
+        return max_violations is not None and len(violations) >= max_violations
+
+    # --- output shape -------------------------------------------------------
+    for v in graph.nodes():
+        label = outputs.node(v)
+        if not isinstance(label, PaddedOutput) or not isinstance(label.list, PadList):
+            add("domain", ("node", v), f"node output {label!r} is not a PaddedOutput")
+            return Verdict(False, violations)
+        if label.port_err not in (PORT_OK, PORT_ERR1, PORT_ERR2):
+            add("domain", ("node", v), f"bad port flag {label.port_err!r}")
+        pad = label.list
+        if not (
+            len(pad.iota_e) == len(pad.iota_b) == len(pad.o_e) == len(pad.o_b) == delta
+        ):
+            add("domain", ("node", v), "Sigma_list arrays must have length delta")
+
+    # --- constraint 1: port edges blank, gadget edges Psi-labeled ---------
+    for eid in range(graph.num_edges):
+        tag = edge_tag(inputs, eid)
+        label = outputs.edge(eid)
+        edge = graph.edge(eid)
+        halves = (outputs.half(edge.a), outputs.half(edge.b))
+        if tag == PORTEDGE:
+            if label is not BLANK:
+                add("edge", eid, "port edge must output BLANK")
+            for side_label in halves:
+                if side_label is not BLANK:
+                    add("edge", eid, "port half-edge must output BLANK")
+        else:
+            # GadEdge (or malformed tag, treated as gadget edge)
+            if label is BLANK:
+                add("edge", eid, "gadget edge must carry a Psi_G label")
+            for side_label in halves:
+                if side_label is BLANK:
+                    add("edge", eid, "gadget half-edge must carry a Psi_G label")
+
+    # --- constraint 2: Psi_G holds on every gadget component ---------------
+    scope = _gadget_scope(graph, inputs)
+    components = scope.components()
+    component_of_node: dict[int, int] = {}
+    for index, component in enumerate(components):
+        for v in component:
+            component_of_node[v] = index
+        psi_outputs = _psi_outputs_of_component(outputs, component)
+        for violation in verify_psi(scope, component, psi_outputs, delta):
+            if add("node", violation.node, f"Psi_G: {violation.message}"):
+                return Verdict(False, violations)
+        # replication: a gadget half-edge carries its node's Psi label;
+        # a gadget edge is GadOk exactly when both endpoints are
+        for v in component:
+            for port, eid, other, _label in scope.incidences(v):
+                half_label = outputs.half(HalfEdge(v, port))
+                if half_label != psi_outputs.get(v):
+                    add(
+                        "node",
+                        v,
+                        "gadget half-edge must replicate the node's Psi label "
+                        f"({half_label!r} vs {psi_outputs.get(v)!r})",
+                    )
+                edge_label = outputs.edge(eid)
+                expected_ok = (
+                    psi_outputs.get(v) == GADOK and psi_outputs.get(other) == GADOK
+                )
+                if expected_ok != (edge_label == GADOK):
+                    add(
+                        "edge",
+                        eid,
+                        "gadget edge must be GadOk iff both endpoints are GadOk",
+                    )
+
+    # --- constraints 3 and 4: port flags ------------------------------------
+    def port_edge_sides(v: int) -> list[HalfEdge]:
+        sides = []
+        for port in range(graph.degree(v)):
+            eid = graph.edge_id_at(v, port)
+            if edge_tag(inputs, eid) == PORTEDGE:
+                sides.append(HalfEdge(v, port))
+        return sides
+
+    def port_tag_of(v: int) -> Hashable:
+        return scope.port_tag(v)
+
+    for v in graph.nodes():
+        label: PaddedOutput = outputs.node(v)
+        tag = port_tag_of(v)
+        is_port = isinstance(tag, Port)
+        n_port_edges = len(port_edge_sides(v))
+        must_err2 = is_port and n_port_edges != 1
+        if must_err2 != (label.port_err == PORT_ERR2):
+            add(
+                "node",
+                v,
+                f"constraint 3: PortErr2 iff a port with {n_port_edges} port edges",
+            )
+
+    for eid in range(graph.num_edges):
+        if edge_tag(inputs, eid) != PORTEDGE:
+            continue
+        edge = graph.edge(eid)
+        for side in (edge.a, edge.b):
+            u = side.node
+            far = edge.other_side(side)
+            u_tag = port_tag_of(u)
+            if not isinstance(u_tag, Port):
+                continue
+            u_out: PaddedOutput = outputs.node(u)
+            far_out: PaddedOutput = outputs.node(far.node)
+            far_tag = port_tag_of(far.node)
+            both_ports = isinstance(far_tag, Port)
+            both_gadok = u_out.psi == GADOK and far_out.psi == GADOK
+            if both_ports and both_gadok:
+                if u_out.port_err == PORT_ERR1:
+                    add("edge", eid, "constraint 4: PortErr1 between GadOk ports")
+            if (not both_ports) or _is_lerr(u_out.psi) or _is_lerr(far_out.psi):
+                if u_out.port_err == PORT_OK:
+                    add(
+                        "edge",
+                        eid,
+                        "constraint 4: NoPortErr despite a NoPort/LErr far side",
+                    )
+
+    # --- constraint 5 (label level): S and the iota copies ------------------
+    for v in graph.nodes():
+        label = outputs.node(v)
+        # LErr escape: any incident element (node psi, incident gadget
+        # edges/halves) with an error label satisfies the node for free.
+        incident_labels = [label.psi]
+        for port in range(graph.degree(v)):
+            eid = graph.edge_id_at(v, port)
+            incident_labels.append(outputs.edge(eid))
+            incident_labels.append(outputs.half(HalfEdge(v, port)))
+        if any(_is_lerr(x) for x in incident_labels):
+            continue
+        pad: PadList = label.list
+        tag = port_tag_of(v)
+        if isinstance(tag, Port):
+            in_s = tag.i in pad.ports
+            if in_s != (label.port_err == PORT_OK):
+                add("node", v, "constraint 5: Port_i in S iff NoPortErr")
+            if tag.i == 1 and pad.iota_v != pi_part(inputs.node(v)):
+                add("node", v, "constraint 5: iota_V must copy Port_1's Pi input")
+            if in_s:
+                for side in port_edge_sides(v):
+                    eid = graph.edge_id_at(side.node, side.port)
+                    if pad.iota_e[tag.i - 1] != pi_part(inputs.edge(eid)):
+                        add("node", v, "constraint 5: iota_E must copy the port edge input")
+                    if pad.iota_b[tag.i - 1] != pi_part(inputs.half(side)):
+                        add("node", v, "constraint 5: iota_B must copy the half input")
+
+    # --- constraint 6 (label level): list agreement --------------------------
+    for eid in range(graph.num_edges):
+        edge = graph.edge(eid)
+        u, w = edge.a.node, edge.b.node
+        u_out: PaddedOutput = outputs.node(u)
+        w_out: PaddedOutput = outputs.node(w)
+        element_labels = [
+            u_out.psi,
+            w_out.psi,
+            outputs.edge(eid),
+            outputs.half(edge.a),
+            outputs.half(edge.b),
+        ]
+        if any(_is_lerr(x) for x in element_labels):
+            continue
+        tag = edge_tag(inputs, eid)
+        if tag == GADEDGE:
+            if u_out.list != w_out.list:
+                add("edge", eid, "constraint 6: Sigma_list differs inside a gadget")
+            continue
+        if tag != PORTEDGE:
+            continue
+        u_tag, w_tag = port_tag_of(u), port_tag_of(w)
+        if not (isinstance(u_tag, Port) and isinstance(w_tag, Port)):
+            continue
+        i, j = u_tag.i, w_tag.i
+        u_pad, w_pad = u_out.list, w_out.list
+        if i not in u_pad.ports or j not in w_pad.ports:
+            continue  # pinned down by constraints 3-5 (see module docstring)
+        if u_pad.iota_e[i - 1] != w_pad.iota_e[j - 1]:
+            add("edge", eid, "constraint 6: iota_E disagrees across the port edge")
+        if u_pad.o_e[i - 1] != w_pad.o_e[j - 1]:
+            add("edge", eid, "constraint 6: o_E disagrees across the port edge")
+        if u_pad.o_b[i - 1] is EMPTY and i in u_pad.ports:
+            add("edge", eid, "constraint 6: missing o_B on a valid port")
+
+    # --- constraints 5/6 (solution level): Pi holds on the contraction ------
+    violations.extend(_verify_contraction(problem, graph, inputs, outputs))
+
+    return Verdict(ok=not violations, violations=violations)
+
+
+def _verify_contraction(
+    problem: PaddedProblem,
+    graph: PortGraph,
+    inputs: Labeling,
+    outputs: Labeling,
+) -> list[Violation]:
+    """Check that the Sigma_list outputs solve Pi on the virtual graph.
+
+    This is the semantic reading of the last bullets of constraints 5
+    and 6: reconstruct the virtual graph by contracting the valid
+    gadgets, read the virtual solution out of the Sigma_list labels,
+    and run the base problem's verifier on it.  For an ne-LCL base this
+    is equivalent to evaluating the hypothetical node and edge
+    configurations the paper writes down; for a padded base it is the
+    recursion that makes Pi_3 and beyond checkable.
+
+    Dummy stubs standing in for dangling port edges are exempt (their
+    Pi'-edge constraints are satisfied through the LErr escape on the
+    far side), so violations located at them are filtered out.
+    """
+    from repro.core.virtual_graph import decompose
+    from repro.local.identifiers import sequential_ids
+
+    decomposition = decompose(
+        graph, inputs, problem.family, sequential_ids(graph.num_nodes), graph.num_nodes
+    )
+    virtual = decomposition.virtual
+    vg = virtual.graph
+    virtual_outputs = Labeling(vg)
+    for a in vg.nodes():
+        comp_index = virtual.component_of_virtual[a]
+        if comp_index is None:
+            continue
+        component = decomposition.components[comp_index]
+        rep = outputs.node(component.min_node())
+        if not isinstance(rep, PaddedOutput):
+            continue
+        pad = rep.list
+        virtual_outputs.set_node(a, pad.o_v)
+        ranked = virtual.alpha[a] or []
+        for rank, i in enumerate(ranked):
+            if i - 1 < len(pad.o_e):
+                virtual_outputs.set_edge(vg.edge_id_at(a, rank), pad.o_e[i - 1])
+                virtual_outputs.set_half(HalfEdge(a, rank), pad.o_b[i - 1])
+
+    dummies = {
+        a for a in vg.nodes() if virtual.component_of_virtual[a] is None
+    }
+    dangling_eids = {
+        vg.edge_id_at(a, 0) for a in dummies
+    }
+
+    def located_at_exempt(violation: Violation) -> bool:
+        where = violation.where
+        if violation.kind == "node" and where in dummies:
+            return True
+        if violation.kind == "edge" and where in dangling_eids:
+            return True
+        if violation.kind == "domain" and isinstance(where, tuple):
+            kind, key = where
+            if kind == "node" and key in dummies:
+                return True
+            if kind == "edge" and key in dangling_eids:
+                return True
+            if kind == "half" and getattr(key, "node", None) in dummies:
+                return True
+        return False
+
+    base = problem.base
+    if isinstance(base, PaddedProblem):
+        verdict = base.verify(vg, virtual.inputs, virtual_outputs)
+    else:
+        verdict = lcl_verify(base, vg, virtual.inputs, virtual_outputs)
+    out = []
+    for violation in verdict.violations:
+        if located_at_exempt(violation):
+            continue
+        out.append(
+            Violation(
+                "virtual",
+                violation.where,
+                f"contraction violates {base.name}: {violation.message}",
+            )
+        )
+    return out

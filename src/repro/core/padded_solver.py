@@ -1,0 +1,247 @@
+"""The generic upper-bound algorithm for Pi' (Lemma 4).
+
+The solver follows the paper's proof step by step:
+
+1. run the prover V on every gadget component (O(d(n)) rounds);
+2. derive the PortErr1/PortErr2/NoPortErr flags (constant extra radius);
+3. contract the valid gadgets into the virtual graph and run the base
+   solver for Pi on it, with the size hint ``n`` of the *padded* graph
+   (the simulation argument of the proof);
+4. translate the virtual solution back into the Sigma_list outputs and
+   complete invalid gadgets with their proofs of error.
+
+Radius accounting mirrors the simulation: a node ``x`` in a valid
+gadget ``A`` is charged ``dist(x, center_A) + sim_radius(A)`` where
+``sim_radius(A)`` bounds the physical radius needed to reconstruct the
+virtual ball that the base algorithm consulted, computed from the real
+center-to-center distances through the padding (the Theta(T * d)
+dilation of Theorem 1, measured rather than assumed).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Hashable
+
+from repro.core.padded_problem import (
+    ERRMARK,
+    PaddedOutput,
+    PaddedProblem,
+    PadList,
+)
+from repro.core.projection import pi_part
+from repro.core.virtual_graph import PORT_OK, Decomposition, decompose
+from repro.gadgets.labels import GADOK
+from repro.lcl.assignment import Labeling
+from repro.lcl.labels import BLANK, EMPTY
+from repro.local.algorithm import Instance, LocalAlgorithm, RunResult
+from repro.local.graphs import HalfEdge
+
+__all__ = ["PaddedSolver"]
+
+
+class PaddedSolver:
+    """Solve Pi' given any solver for the base problem Pi."""
+
+    def __init__(self, problem: PaddedProblem, base_solver: LocalAlgorithm):
+        self.problem = problem
+        self.base_solver = base_solver
+        self.name = f"padded[{base_solver.name}]"
+        self.randomized = base_solver.randomized
+
+    # -- helpers ------------------------------------------------------------
+
+    def _center_distances(
+        self, decomposition: Decomposition
+    ) -> tuple[dict[int, dict[int, int]], dict[int, int]]:
+        """Per valid component: BFS distances from the center, and ecc."""
+        dist_maps: dict[int, dict[int, int]] = {}
+        eccs: dict[int, int] = {}
+        scope = decomposition.scope
+        for component in decomposition.components:
+            if not component.is_valid or component.center is None:
+                continue
+            dist = {component.center: 0}
+            frontier = deque([component.center])
+            while frontier:
+                x = frontier.popleft()
+                for _p, _e, other, _l in scope.incidences(x):
+                    if other not in dist:
+                        dist[other] = dist[x] + 1
+                        frontier.append(other)
+            dist_maps[component.index] = dist
+            eccs[component.index] = max(dist.values())
+        return dist_maps, eccs
+
+    def _simulation_radii(
+        self,
+        decomposition: Decomposition,
+        base_result: RunResult,
+        dist_maps: dict[int, dict[int, int]],
+        eccs: dict[int, int],
+    ) -> dict[int, int]:
+        """Physical radius bound per *virtual* node (see module docstring)."""
+        virtual = decomposition.virtual
+        vg = virtual.graph
+        # weighted center-to-center distances through the padding
+        weights: dict[int, int] = {}
+        for edge in vg.edges():
+            total = 1
+            for side in (edge.a, edge.b):
+                att = virtual.attachment.get(side)
+                if att is None:
+                    continue  # dummy side: weight 1 covers the hop
+                port_node, _eid = att
+                comp_index = virtual.component_of_virtual[side.node]
+                total += dist_maps[comp_index].get(port_node, 0)
+            weights[edge.eid] = total
+
+        sim_radius: dict[int, int] = {}
+        for a in vg.nodes():
+            comp_a = virtual.component_of_virtual[a]
+            if comp_a is None:
+                continue
+            hops = max(base_result.node_radius[a], 1)
+            # hop-limited Dijkstra over (node, hop) states
+            best: dict[int, tuple[int, int]] = {a: (0, 0)}  # node -> (w, h)
+            heap = [(0, 0, a)]
+            reach = 0
+            while heap:
+                w, h, x = heapq.heappop(heap)
+                if best.get(x, (1 << 60, 0))[0] < w:
+                    continue
+                comp_x = virtual.component_of_virtual[x]
+                ecc = eccs.get(comp_x, 0) if comp_x is not None else 0
+                reach = max(reach, w + ecc + 1)
+                if h >= hops:
+                    continue
+                for port in range(vg.degree(x)):
+                    eid = vg.edge_id_at(x, port)
+                    y = vg.neighbor(x, port)
+                    nw = w + weights[eid]
+                    if nw < best.get(y, (1 << 60, 0))[0]:
+                        best[y] = (nw, h + 1)
+                        heapq.heappush(heap, (nw, h + 1, y))
+            sim_radius[a] = reach
+        return sim_radius
+
+    # -- main ----------------------------------------------------------------
+
+    def solve(self, instance: Instance) -> RunResult:
+        graph = instance.graph
+        inputs = instance.inputs
+        if inputs is None:
+            raise ValueError("Pi' instances carry structured inputs")
+        problem = self.problem
+        delta = problem.delta
+
+        decomposition = decompose(
+            graph, inputs, problem.family, instance.ids, instance.n_hint
+        )
+        virtual = decomposition.virtual
+
+        base_instance = Instance(
+            graph=virtual.graph,
+            ids=virtual.ids,
+            inputs=virtual.inputs,
+            n_hint=instance.n_hint,
+            rng=instance.rng,
+        )
+        base_result = self.base_solver.solve(base_instance)
+
+        outputs = Labeling(graph)
+        # gadget-layer outputs: Psi labels on nodes/halves/edges, blanks
+        # on port edges (constraints 1 and 2)
+        psi_of: dict[int, Hashable] = {}
+        for component in decomposition.components:
+            for v in component.nodes:
+                psi_of[v] = component.prover.outputs[v]
+        for eid in range(graph.num_edges):
+            edge = graph.edge(eid)
+            if decomposition.scope.in_scope(eid):
+                a_ok = psi_of.get(edge.a.node) == GADOK
+                b_ok = psi_of.get(edge.b.node) == GADOK
+                outputs.set_edge(eid, GADOK if a_ok and b_ok else ERRMARK)
+                outputs.set_half(edge.a, psi_of.get(edge.a.node))
+                outputs.set_half(edge.b, psi_of.get(edge.b.node))
+            else:
+                outputs.set_edge(eid, BLANK)
+                outputs.set_half(edge.a, BLANK)
+                outputs.set_half(edge.b, BLANK)
+
+        # Sigma_list per component (constraints 5 and 6)
+        empty = problem.empty_list()
+        pad_of_component: dict[int, PadList] = {}
+        for component in decomposition.components:
+            if not component.is_valid:
+                pad_of_component[component.index] = empty
+                continue
+            a = virtual.virtual_of_component[component.index]
+            ranked = virtual.alpha[a] or []
+            iota_e = [EMPTY] * delta
+            iota_b = [EMPTY] * delta
+            o_e = [EMPTY] * delta
+            o_b = [EMPTY] * delta
+            for rank, i in enumerate(ranked):
+                side = HalfEdge(a, rank)
+                port_node, port_eid = virtual.attachment[side]
+                iota_e[i - 1] = pi_part(inputs.edge(port_eid))
+                my_side = None
+                for port in range(graph.degree(port_node)):
+                    if graph.edge_id_at(port_node, port) == port_eid:
+                        my_side = HalfEdge(port_node, port)
+                        break
+                iota_b[i - 1] = pi_part(inputs.half(my_side))
+                o_e[i - 1] = base_result.outputs.edge(virtual.graph.edge_id_at(a, rank))
+                o_b[i - 1] = base_result.outputs.half(side)
+            port1 = component.port_nodes.get(1)
+            iota_v = pi_part(inputs.node(port1)) if port1 is not None else EMPTY
+            pad_of_component[component.index] = PadList(
+                ports=frozenset(ranked),
+                iota_v=iota_v,
+                iota_e=tuple(iota_e),
+                iota_b=tuple(iota_b),
+                o_v=base_result.outputs.node(a),
+                o_e=tuple(o_e),
+                o_b=tuple(o_b),
+            )
+
+        for v in graph.nodes():
+            comp_index = decomposition.component_of_node[v]
+            pad = pad_of_component[comp_index]
+            port_err = decomposition.port_status.get(v, PORT_OK)
+            outputs.set_node(v, PaddedOutput(pad, port_err, psi_of[v]))
+
+        # --- radius accounting ---------------------------------------------
+        dist_maps, eccs = self._center_distances(decomposition)
+        sim_radius = self._simulation_radii(
+            decomposition, base_result, dist_maps, eccs
+        )
+        node_radius = [0] * graph.num_nodes
+        for component in decomposition.components:
+            for v in component.nodes:
+                node_radius[v] = component.prover.node_radius[v]
+        for component in decomposition.components:
+            if not component.is_valid:
+                continue
+            a = virtual.virtual_of_component[component.index]
+            reach = sim_radius.get(a, 0)
+            dist = dist_maps[component.index]
+            for v in component.nodes:
+                node_radius[v] = max(node_radius[v], dist.get(v, 0) + reach)
+
+        return RunResult(
+            outputs=outputs,
+            node_radius=node_radius,
+            extras={
+                "base_rounds": base_result.rounds,
+                "base_extras": base_result.extras,
+                "virtual_nodes": virtual.num_real(),
+                "virtual_edges": virtual.graph.num_edges,
+                "invalid_gadgets": sum(
+                    1 for c in decomposition.components if not c.is_valid
+                ),
+                "max_gadget_ecc": max(eccs.values(), default=0),
+            },
+        )

@@ -1,0 +1,185 @@
+"""Padded graphs (Definition 3, Figure 2).
+
+``pad_graph`` replaces every node of a base graph ``G`` with a gadget
+from a family and connects port ``a`` of ``u`` to port ``b`` of ``v``
+for every base edge; gadget-internal edges are tagged ``GadEdge`` and
+the new connections ``PortEdge``.
+
+The builder records the full correspondence (base node -> gadget node
+range, base edge -> port edge id), which the hard-instance generators
+and tests use; the Pi' solver never touches it — it rediscovers the
+structure from the labels alone, as a distributed algorithm must.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Sequence
+
+from repro.gadgets.build import BuiltGadget
+from repro.lcl.assignment import Labeling
+from repro.lcl.labels import EMPTY
+from repro.local.builder import GraphBuilder
+from repro.local.graphs import HalfEdge, PortGraph
+
+__all__ = ["GADEDGE", "PORTEDGE", "PaddedInput", "PaddedGraph", "pad_graph"]
+
+GADEDGE = "GadEdge"
+PORTEDGE = "PortEdge"
+
+
+class PaddedInput(tuple):
+    """Structured input label of Pi' elements.
+
+    For nodes: ``(pi_input, gadget_node_input)`` — the gadget input
+    already carries the port tag (Definition 2).  For edges:
+    ``(pi_input, edge_tag)`` with ``edge_tag`` in {GadEdge, PortEdge}.
+    For half-edges: ``(pi_input, gadget_half_input)``.
+    """
+
+    __slots__ = ()
+
+    def __new__(cls, pi: Hashable, gadget: Hashable):
+        return super().__new__(cls, (pi, gadget))
+
+    @property
+    def pi(self) -> Hashable:
+        return self[0]
+
+    @property
+    def gadget(self) -> Hashable:
+        return self[1]
+
+
+@dataclass
+class PaddedGraph:
+    """A padded graph with its Pi' input labeling and provenance."""
+
+    graph: PortGraph
+    inputs: Labeling
+    base_num_nodes: int
+    gadget_of: list[BuiltGadget]  # per base node
+    node_offset: list[int]  # base node -> first padded node index
+    port_edges: list[int] = field(default_factory=list)  # eids tagged PortEdge
+
+    def padded_node(self, base_node: int, gadget_node: int) -> int:
+        return self.node_offset[base_node] + gadget_node
+
+    def gadget_nodes(self, base_node: int) -> range:
+        start = self.node_offset[base_node]
+        return range(start, start + self.gadget_of[base_node].num_nodes)
+
+    def edge_tag(self, eid: int) -> Hashable:
+        return self.inputs.edge(eid).gadget
+
+
+def pad_graph(
+    base: PortGraph,
+    gadgets: Sequence[BuiltGadget],
+    base_inputs: Labeling | None = None,
+) -> PaddedGraph:
+    """Pad ``base`` by the chosen gadget per node (Definition 3).
+
+    Every gadget must offer at least ``deg(v)`` ports.  Base-problem
+    inputs (if any) are carried over: the base node input lands on
+    *every* node of its gadget (so in particular on Port_1, which
+    constraint 5 of Pi' reads), base edge inputs on the port edge, and
+    base half-edge inputs on the port-edge half at the matching port
+    node.
+    """
+    if len(gadgets) != base.num_nodes:
+        raise ValueError("one gadget per base node required")
+    for v in base.nodes():
+        if base.degree(v) > gadgets[v].delta:
+            raise ValueError(
+                f"base node {v} has degree {base.degree(v)} but its gadget "
+                f"offers only {gadgets[v].delta} ports"
+            )
+
+    builder = GraphBuilder()
+    node_offset = []
+    for v in base.nodes():
+        offset = builder.num_nodes
+        node_offset.append(offset)
+        builder.add_nodes(gadgets[v].num_nodes)
+
+    # copy gadget-internal edges (ports preserved: edges inserted in the
+    # same per-node order as in the standalone gadget)
+    edge_tags: list[Hashable] = []
+    for v in base.nodes():
+        offset = node_offset[v]
+        for edge in gadgets[v].graph.edges():
+            builder.add_edge(offset + edge.a.node, offset + edge.b.node)
+            edge_tags.append(GADEDGE)
+
+    # port edges: base edge {u via port a, v via port b} connects
+    # Port_{a+1} of u's gadget to Port_{b+1} of v's gadget
+    port_edge_of_base_edge: list[int] = []
+    for edge in base.edges():
+        u, a = edge.a
+        v, b = edge.b
+        pu = node_offset[u] + gadgets[u].ports[a]
+        pv = node_offset[v] + gadgets[v].ports[b]
+        eid = builder.add_edge(pu, pv)
+        edge_tags.append(PORTEDGE)
+        assert edge_tags[eid] == PORTEDGE
+        port_edge_of_base_edge.append(eid)
+
+    graph = builder.build()
+    inputs = Labeling(graph)
+
+    def base_node_input(v: int) -> Hashable:
+        return base_inputs.node(v) if base_inputs is not None else EMPTY
+
+    for v in base.nodes():
+        offset = node_offset[v]
+        gadget = gadgets[v]
+        for w in gadget.graph.nodes():
+            inputs.set_node(
+                offset + w, PaddedInput(base_node_input(v), gadget.inputs.node(w))
+            )
+            for port in range(gadget.graph.degree(w)):
+                inputs.set_half(
+                    HalfEdge(offset + w, port),
+                    PaddedInput(EMPTY, gadget.inputs.half_at(w, port)),
+                )
+    for eid in range(graph.num_edges):
+        inputs.set_edge(eid, PaddedInput(EMPTY, edge_tags[eid]))
+
+    # base edge/half-edge inputs ride on the port edges
+    for base_eid, padded_eid in enumerate(port_edge_of_base_edge):
+        base_edge = base.edge(base_eid)
+        if base_inputs is not None:
+            inputs.set_edge(
+                padded_eid,
+                PaddedInput(base_inputs.edge(base_eid), PORTEDGE),
+            )
+        padded_edge = graph.edge(padded_eid)
+        # match padded sides to base sides through the gadget ports
+        u, a = base_edge.a
+        v, b = base_edge.b
+        pu = node_offset[u] + gadgets[u].ports[a]
+        pv = node_offset[v] + gadgets[v].ports[b]
+        side_u = (
+            padded_edge.a if padded_edge.a.node == pu else padded_edge.b
+        )
+        side_v = padded_edge.other_side(side_u)
+        if base_inputs is not None:
+            inputs.set_half(
+                side_u, PaddedInput(base_inputs.half(base_edge.a), EMPTY)
+            )
+            inputs.set_half(
+                side_v, PaddedInput(base_inputs.half(base_edge.b), EMPTY)
+            )
+        else:
+            inputs.set_half(side_u, PaddedInput(EMPTY, EMPTY))
+            inputs.set_half(side_v, PaddedInput(EMPTY, EMPTY))
+
+    return PaddedGraph(
+        graph=graph,
+        inputs=inputs,
+        base_num_nodes=base.num_nodes,
+        gadget_of=list(gadgets),
+        node_offset=node_offset,
+        port_edges=port_edge_of_base_edge,
+    )

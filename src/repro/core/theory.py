@@ -1,0 +1,61 @@
+"""Closed-form complexity predictions (Theorems 1 and 11).
+
+These functions state what the paper proves, so that the measurement
+harness can print paper-vs-measured side by side:
+
+* Pi_i has deterministic complexity Theta(log^i n) and randomized
+  complexity Theta(log^{i-1} n * log log n) (Theorem 11);
+* padding with a (d, Delta)-family multiplies both complexities by
+  Theta(d(n)) (Theorem 1 with f(x) = floor(sqrt(x)));
+* the paper's closing observation: every known gap satisfies
+  D(n)/R(n) = Theta(log n / log log n).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "deterministic_prediction",
+    "randomized_prediction",
+    "gap_ratio_prediction",
+    "theorem1_upper",
+    "theorem1_lower",
+]
+
+
+def _log(n: float) -> float:
+    return math.log2(max(n, 2.0))
+
+
+def _loglog(n: float) -> float:
+    return math.log2(max(_log(n), 2.0))
+
+
+def deterministic_prediction(level: int, n: int) -> float:
+    """Theta(log^i n) for Pi_i (up to the hidden constant)."""
+    if level < 1:
+        raise ValueError("levels are 1-based")
+    return _log(n) ** level
+
+
+def randomized_prediction(level: int, n: int) -> float:
+    """Theta(log^{i-1} n * log log n) for Pi_i."""
+    if level < 1:
+        raise ValueError("levels are 1-based")
+    return _log(n) ** (level - 1) * _loglog(n)
+
+
+def gap_ratio_prediction(n: int) -> float:
+    """D(n) / R(n) = Theta(log n / log log n), independent of the level."""
+    return _log(n) / _loglog(n)
+
+
+def theorem1_upper(base_rounds: float, n: int) -> float:
+    """O(T(Pi, n) * d(n)) with d = log (Theorem 1, upper bound shape)."""
+    return base_rounds * _log(n)
+
+
+def theorem1_lower(base_rounds_at_sqrt: float, n: int) -> float:
+    """Omega(T(Pi, sqrt(n)) * d(sqrt(n))) with f(x) = floor(sqrt(x))."""
+    return base_rounds_at_sqrt * _log(math.isqrt(max(n, 1)))

@@ -1,0 +1,190 @@
+"""Builders for sub-gadgets and gadgets (paper Sections 4.1 and 4.3).
+
+A sub-gadget of height ``h`` is a complete binary tree on levels
+``0..h-1`` with horizontal edges joining consecutive nodes of each
+level (Figure 5); its bottom-right node is the port.  A gadget joins
+``Delta`` sub-gadget roots to a fresh center node (Figure 6).
+
+The builder also computes the distance-2 coloring required by the
+Section 4.6 node-edge encoding and replicates each node's color onto
+its half-edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gadgets.labels import (
+    CENTER,
+    Down,
+    GadgetHalfInput,
+    GadgetNodeInput,
+    Index,
+    LCHILD,
+    LEFT,
+    NOPORT,
+    PARENT,
+    Port,
+    RCHILD,
+    RIGHT,
+    UP,
+)
+from repro.lcl.assignment import Labeling
+from repro.local.builder import GraphBuilder
+from repro.local.graphs import HalfEdge, PortGraph
+
+__all__ = ["BuiltGadget", "build_gadget", "subgadget_size", "gadget_size"]
+
+
+def subgadget_size(height: int) -> int:
+    """Number of nodes of a height-``height`` sub-gadget."""
+    return 2**height - 1
+
+
+def gadget_size(delta: int, heights: tuple[int, ...] | int) -> int:
+    """Number of nodes of a gadget (Delta sub-gadgets plus the center)."""
+    if isinstance(heights, int):
+        heights = (heights,) * delta
+    return sum(subgadget_size(h) for h in heights) + 1
+
+
+@dataclass
+class BuiltGadget:
+    """A gadget graph with its input labeling and coordinate book-keeping.
+
+    ``coords[v]`` is ``("center",)`` for the center and
+    ``("sub", i, level, x)`` for node ``(level, x)`` of sub-gadget ``i``
+    (1-based ``i``).  ``ports[i - 1]`` is the node labeled ``Port_i``.
+    """
+
+    delta: int
+    heights: tuple[int, ...]
+    graph: PortGraph
+    inputs: Labeling
+    center: int
+    ports: list[int]
+    coords: dict[int, tuple] = field(repr=False)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.graph.num_nodes
+
+    def role_of(self, v: int):
+        return self.inputs.node(v).role
+
+    def half_label(self, v: int, port: int):
+        return self.inputs.half_at(v, port).label
+
+
+def _distance2_coloring(graph: PortGraph) -> list[int]:
+    """Greedy proper distance-2 coloring (at most Delta^2 + 1 colors)."""
+    colors = [-1] * graph.num_nodes
+    for v in graph.nodes():
+        blocked = set()
+        for u in graph.neighbors(v):
+            if colors[u] >= 0:
+                blocked.add(colors[u])
+            for w in graph.neighbors(u):
+                if w != v and colors[w] >= 0:
+                    blocked.add(colors[w])
+        color = 0
+        while color in blocked:
+            color += 1
+        colors[v] = color
+    return colors
+
+
+def build_gadget(delta: int, heights: tuple[int, ...] | int) -> BuiltGadget:
+    """Build a labeled gadget with ``delta`` sub-gadgets.
+
+    ``heights`` is a single height for all sub-gadgets or one height per
+    sub-gadget; every height must be at least 2 (a height-1 sub-gadget
+    cannot satisfy both the root constraint 3e and the port constraint
+    3h of Section 4.2).
+    """
+    if delta < 1:
+        raise ValueError("delta must be at least 1")
+    if isinstance(heights, int):
+        heights = (heights,) * delta
+    heights = tuple(heights)
+    if len(heights) != delta:
+        raise ValueError(f"need {delta} heights, got {len(heights)}")
+    if any(h < 2 for h in heights):
+        raise ValueError("sub-gadget heights must be at least 2")
+
+    builder = GraphBuilder()
+    coords: dict[int, tuple] = {}
+    node_of: dict[tuple, int] = {}
+    half_labels: dict[tuple[int, int], object] = {}  # filled after build
+
+    # Allocate nodes: all sub-gadgets first, center last.
+    for i, h in enumerate(heights, start=1):
+        for level in range(h):
+            for x in range(2**level):
+                v = builder.add_node()
+                coords[v] = ("sub", i, level, x)
+                node_of[(i, level, x)] = v
+    center = builder.add_node()
+    coords[center] = ("center",)
+
+    # Edges with endpoint labels; record labels by (node, port) as we go.
+    pending: list[tuple[int, int, object, object]] = []  # u, v, label_u, label_v
+    for i, h in enumerate(heights, start=1):
+        for level in range(1, h):
+            for x in range(2**level):
+                child = node_of[(i, level, x)]
+                parent = node_of[(i, level - 1, x // 2)]
+                parent_side = LCHILD if x % 2 == 0 else RCHILD
+                pending.append((child, parent, PARENT, parent_side))
+        for level in range(h):
+            for x in range(2**level - 1):
+                left = node_of[(i, level, x)]
+                right = node_of[(i, level, x + 1)]
+                pending.append((left, right, RIGHT, LEFT))
+        root = node_of[(i, 0, 0)]
+        pending.append((root, center, UP, Down(i)))
+
+    ports_used: dict[int, int] = {}
+    for u, v, label_u, label_v in pending:
+        pu = ports_used.get(u, 0)
+        pv = ports_used.get(v, 0)
+        if u == v:
+            raise AssertionError("gadget construction never builds loops")
+        builder.add_edge(u, v)
+        half_labels[(u, pu)] = label_u
+        half_labels[(v, pv)] = label_v
+        ports_used[u] = pu + 1
+        ports_used[v] = pv + 1
+
+    graph = builder.build()
+    colors = _distance2_coloring(graph)
+
+    inputs = Labeling(graph)
+    ports: list[int] = [0] * delta
+    for v in graph.nodes():
+        coord = coords[v]
+        if coord[0] == "center":
+            role = CENTER
+            port_tag = NOPORT
+        else:
+            _, i, level, x = coord
+            role = Index(i)
+            h = heights[i - 1]
+            if level == h - 1 and x == 2**level - 1:
+                port_tag = Port(i)
+                ports[i - 1] = v
+            else:
+                port_tag = NOPORT
+        inputs.set_node(v, GadgetNodeInput(role, port_tag, colors[v]))
+    for (v, port), label in half_labels.items():
+        inputs.set_half(HalfEdge(v, port), GadgetHalfInput(label, colors[v]))
+
+    return BuiltGadget(
+        delta=delta,
+        heights=heights,
+        graph=graph,
+        inputs=inputs,
+        center=center,
+        ports=ports,
+        coords=coords,
+    )

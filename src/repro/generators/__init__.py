@@ -1,0 +1,35 @@
+"""Instance generators: classic families, regular graphs, padded graphs."""
+
+from repro.generators.classic import (
+    complete,
+    complete_binary_tree,
+    cycle,
+    disjoint_union,
+    path,
+    star,
+    torus_grid,
+    with_isolated_nodes,
+)
+from repro.generators.hard import (
+    cubic_instance,
+    family_hard_instance,
+    padded_hard_instance,
+)
+from repro.generators.regular import configuration_model, lift_girth, random_regular
+
+__all__ = [
+    "cubic_instance",
+    "family_hard_instance",
+    "padded_hard_instance",
+    "complete",
+    "complete_binary_tree",
+    "cycle",
+    "disjoint_union",
+    "path",
+    "star",
+    "torus_grid",
+    "with_isolated_nodes",
+    "configuration_model",
+    "lift_girth",
+    "random_regular",
+]

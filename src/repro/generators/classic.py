@@ -1,0 +1,98 @@
+"""Classic graph families: cycles, paths, trees, grids, and friends."""
+
+from __future__ import annotations
+
+from repro.local.builder import GraphBuilder
+from repro.local.graphs import PortGraph
+
+__all__ = [
+    "cycle",
+    "path",
+    "complete",
+    "star",
+    "complete_binary_tree",
+    "torus_grid",
+    "disjoint_union",
+    "with_isolated_nodes",
+]
+
+
+def cycle(n: int) -> PortGraph:
+    """The n-cycle; n = 1 is a self-loop, n = 2 a parallel pair."""
+    if n < 1:
+        raise ValueError("cycle needs at least one node")
+    builder = GraphBuilder(n)
+    for v in range(n):
+        builder.add_edge(v, (v + 1) % n)
+    return builder.build()
+
+
+def path(n: int) -> PortGraph:
+    """The n-node path."""
+    if n < 1:
+        raise ValueError("path needs at least one node")
+    return PortGraph.from_edge_list(n, [(v, v + 1) for v in range(n - 1)])
+
+
+def complete(n: int) -> PortGraph:
+    """The complete graph K_n."""
+    pairs = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    return PortGraph.from_edge_list(n, pairs)
+
+
+def star(leaves: int) -> PortGraph:
+    """A star with the given number of leaves; node 0 is the center."""
+    return PortGraph.from_edge_list(leaves + 1, [(0, v) for v in range(1, leaves + 1)])
+
+
+def complete_binary_tree(height: int) -> PortGraph:
+    """A complete binary tree with ``height`` levels (2**height - 1 nodes)."""
+    if height < 1:
+        raise ValueError("height must be at least 1")
+    n = 2**height - 1
+    pairs = []
+    for v in range(1, n):
+        pairs.append(((v - 1) // 2, v))
+    return PortGraph.from_edge_list(n, pairs)
+
+
+def torus_grid(rows: int, cols: int) -> PortGraph:
+    """A toroidal grid (4-regular when rows, cols >= 3)."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid dimensions must be positive")
+
+    def at(r: int, c: int) -> int:
+        return (r % rows) * cols + (c % cols)
+
+    pairs = []
+    for r in range(rows):
+        for c in range(cols):
+            if cols > 1:
+                pairs.append((at(r, c), at(r, c + 1)))
+            if rows > 1:
+                pairs.append((at(r, c), at(r + 1, c)))
+    return PortGraph.from_edge_list(rows * cols, pairs)
+
+
+def disjoint_union(*graphs: PortGraph) -> PortGraph:
+    """The disjoint union, preserving each part's port structure."""
+    from repro.local.graphs import HalfEdge
+
+    total = sum(g.num_nodes for g in graphs)
+    edges = []
+    offset = 0
+    for g in graphs:
+        for edge in g.edges():
+            a = HalfEdge(edge.a.node + offset, edge.a.port)
+            b = HalfEdge(edge.b.node + offset, edge.b.port)
+            edges.append((a, b))
+        offset += g.num_nodes
+    return PortGraph(total, edges)
+
+
+def with_isolated_nodes(graph: PortGraph, count: int) -> PortGraph:
+    """Append ``count`` isolated nodes (used by the Lemma 5 instances)."""
+    from repro.local.graphs import HalfEdge
+
+    edges = [(edge.a, edge.b) for edge in graph.edges()]
+    return PortGraph(graph.num_nodes + count, edges)

@@ -1,0 +1,113 @@
+"""Random regular graphs and girth surgery.
+
+The hard instances for sinkless orientation are bounded-degree graphs
+of minimum degree 3 that look locally tree-like; random d-regular
+graphs have exactly that property (their short cycles are sparse), and
+``lift_girth`` removes the few short cycles by local edge surgery when
+a guaranteed girth floor is wanted.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.local.distances import girth
+from repro.local.graphs import PortGraph
+
+__all__ = ["random_regular", "configuration_model", "lift_girth"]
+
+
+def configuration_model(n: int, degree: int, rng: random.Random) -> PortGraph:
+    """One configuration-model sample (may contain loops/parallels)."""
+    if n * degree % 2 != 0:
+        raise ValueError("n * degree must be even")
+    stubs = [v for v in range(n) for _ in range(degree)]
+    rng.shuffle(stubs)
+    pairs = [(stubs[i], stubs[i + 1]) for i in range(0, len(stubs), 2)]
+    return PortGraph.from_edge_list(n, pairs)
+
+
+def random_regular(
+    n: int, degree: int, rng: random.Random, simple: bool = True, max_tries: int = 200
+) -> PortGraph:
+    """A random d-regular graph; resamples until simple when requested."""
+    for _ in range(max_tries):
+        graph = configuration_model(n, degree, rng)
+        if not simple or graph.is_simple():
+            return graph
+    raise RuntimeError(
+        f"failed to sample a simple {degree}-regular graph on {n} nodes"
+    )
+
+
+def _short_cycle_edge(graph: PortGraph, below: int) -> tuple[int, int] | None:
+    """Return (eid of an edge on a cycle shorter than ``below``, length)."""
+    from collections import deque
+
+    for source in graph.nodes():
+        dist = {source: 0}
+        parent = {source: -1}
+        frontier = deque([source])
+        while frontier:
+            v = frontier.popleft()
+            if dist[v] * 2 >= below:
+                continue
+            for port in range(graph.degree(v)):
+                u = graph.neighbor(v, port)
+                eid = graph.edge_id_at(v, port)
+                if u == v:
+                    return eid, 1
+                if u not in dist:
+                    dist[u] = dist[v] + 1
+                    parent[u] = eid
+                    frontier.append(u)
+                elif parent[v] != eid:
+                    length = dist[u] + dist[v] + 1
+                    if length < below:
+                        return eid, length
+    return None
+
+
+def lift_girth(
+    graph: PortGraph,
+    min_girth: int,
+    rng: random.Random,
+    max_swaps: int | None = None,
+) -> PortGraph:
+    """Raise the girth to at least ``min_girth`` by random 2-swaps.
+
+    Repeatedly finds an edge lying on a short cycle and swaps it with a
+    uniformly random other edge (the classic degree-preserving double
+    edge swap).  Terminates when no cycle shorter than ``min_girth``
+    remains; raises if the budget runs out, which indicates the girth
+    target is infeasible at this size (a d-regular graph on n nodes has
+    girth O(log n)).
+    """
+    if max_swaps is None:
+        max_swaps = 50 * graph.num_edges + 1000
+    pairs = [(e.a.node, e.b.node) for e in graph.edges()]
+    n = graph.num_nodes
+    current = graph
+    for _ in range(max_swaps):
+        found = _short_cycle_edge(current, min_girth)
+        if found is None:
+            return current
+        bad_eid, _length = found
+        other_eid = rng.randrange(len(pairs))
+        if other_eid == bad_eid:
+            continue
+        a, b = pairs[bad_eid]
+        c, d = pairs[other_eid]
+        if rng.random() < 0.5:
+            new_pairs = [(a, c), (b, d)]
+        else:
+            new_pairs = [(a, d), (b, c)]
+        pairs[bad_eid] = new_pairs[0]
+        pairs[other_eid] = new_pairs[1]
+        candidate = PortGraph.from_edge_list(n, pairs)
+        current = candidate
+    g = girth(current)
+    raise RuntimeError(
+        f"girth surgery did not reach girth {min_girth} (currently {g}); "
+        "the target is likely infeasible at this size"
+    )

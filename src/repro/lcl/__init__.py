@@ -1,0 +1,27 @@
+"""The locally-checkable-labeling formalism (ne-LCLs, Section 2)."""
+
+from repro.lcl.assignment import Labeling
+from repro.lcl.labels import BLANK, EMPTY, LabelSet
+from repro.lcl.problem import EdgeConfiguration, NeLCL, NodeConfiguration
+from repro.lcl.verifier import (
+    Verdict,
+    Violation,
+    edge_configuration,
+    node_configuration,
+    verify,
+)
+
+__all__ = [
+    "Labeling",
+    "BLANK",
+    "EMPTY",
+    "LabelSet",
+    "EdgeConfiguration",
+    "NeLCL",
+    "NodeConfiguration",
+    "Verdict",
+    "Violation",
+    "edge_configuration",
+    "node_configuration",
+    "verify",
+]

@@ -1,0 +1,125 @@
+"""Labelings over V, E, and B (half-edges).
+
+A :class:`Labeling` assigns one label to every node, edge, and half-edge
+of a graph, mirroring the paper's convention that "each element of
+V x E x B is assigned exactly one label" (Section 3.3).  Missing
+entries read as ``EMPTY``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator
+
+from repro.lcl.labels import EMPTY
+from repro.local.graphs import HalfEdge, PortGraph
+
+__all__ = ["Labeling"]
+
+
+class Labeling:
+    """Mutable label assignment for one graph.
+
+    The graph is referenced for shape validation only; labels are stored
+    sparsely and default to ``EMPTY``.
+    """
+
+    def __init__(self, graph: PortGraph):
+        self.graph = graph
+        self._node: dict[int, Hashable] = {}
+        self._edge: dict[int, Hashable] = {}
+        self._half: dict[HalfEdge, Hashable] = {}
+
+    # -- node labels --------------------------------------------------------
+
+    def node(self, v: int) -> Hashable:
+        return self._node.get(v, EMPTY)
+
+    def set_node(self, v: int, label: Hashable) -> None:
+        if not 0 <= v < self.graph.num_nodes:
+            raise KeyError(f"node {v} out of range")
+        self._node[v] = label
+
+    # -- edge labels --------------------------------------------------------
+
+    def edge(self, eid: int) -> Hashable:
+        return self._edge.get(eid, EMPTY)
+
+    def set_edge(self, eid: int, label: Hashable) -> None:
+        if not 0 <= eid < self.graph.num_edges:
+            raise KeyError(f"edge {eid} out of range")
+        self._edge[eid] = label
+
+    # -- half-edge labels ------------------------------------------------------
+
+    def half(self, side: HalfEdge) -> Hashable:
+        return self._half.get(side, EMPTY)
+
+    def half_at(self, v: int, port: int) -> Hashable:
+        return self._half.get(HalfEdge(v, port), EMPTY)
+
+    def set_half(self, side: HalfEdge, label: Hashable) -> None:
+        v, port = side
+        if not 0 <= v < self.graph.num_nodes or not 0 <= port < self.graph.degree(v):
+            raise KeyError(f"half-edge {side} out of range")
+        self._half[HalfEdge(v, port)] = label
+
+    def set_half_at(self, v: int, port: int, label: Hashable) -> None:
+        self.set_half(HalfEdge(v, port), label)
+
+    # -- bulk operations -----------------------------------------------------------
+
+    def fill_nodes(self, label: Hashable) -> "Labeling":
+        for v in self.graph.nodes():
+            self._node[v] = label
+        return self
+
+    def fill_edges(self, label: Hashable) -> "Labeling":
+        for eid in range(self.graph.num_edges):
+            self._edge[eid] = label
+        return self
+
+    def fill_halves(self, label: Hashable) -> "Labeling":
+        for side in self.graph.half_edges():
+            self._half[side] = label
+        return self
+
+    def copy(self) -> "Labeling":
+        out = Labeling(self.graph)
+        out._node = dict(self._node)
+        out._edge = dict(self._edge)
+        out._half = dict(self._half)
+        return out
+
+    # -- iteration / comparison ---------------------------------------------------
+
+    def items(self) -> Iterator[tuple[str, Hashable, Hashable]]:
+        """Yield ``(kind, key, label)`` for every explicitly set label."""
+        for v, label in sorted(self._node.items()):
+            yield ("node", v, label)
+        for eid, label in sorted(self._edge.items()):
+            yield ("edge", eid, label)
+        for side, label in sorted(self._half.items()):
+            yield ("half", side, label)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Labeling):
+            return NotImplemented
+        if self.graph is not other.graph:
+            if (
+                self.graph.num_nodes != other.graph.num_nodes
+                or self.graph.num_edges != other.graph.num_edges
+            ):
+                return False
+        mine = self._dense()
+        theirs = other._dense()
+        return mine == theirs
+
+    def _dense(self) -> tuple:
+        nodes = tuple(self.node(v) for v in self.graph.nodes())
+        edges = tuple(self.edge(e) for e in range(self.graph.num_edges))
+        halves = tuple(self.half(s) for s in self.graph.half_edges())
+        return (nodes, edges, halves)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        set_counts = (len(self._node), len(self._edge), len(self._half))
+        return f"Labeling(nodes={set_counts[0]}, edges={set_counts[1]}, halves={set_counts[2]})"

@@ -1,0 +1,113 @@
+"""Node-edge-checkable LCL problems (ne-LCLs).
+
+Following Section 2 of the paper, an ne-LCL is given by input and output
+label alphabets on V, E, and B, a node constraint ``C_N`` and an edge
+constraint ``C_E``.  Constraints here are predicates over explicit
+configuration objects; they must be independent of identifiers and port
+numbers (the verifier enforces port-permutation checks only in tests, as
+full invariance checking is exponential).
+
+Node configurations present incident edges **in port order**; a
+self-loop contributes two consecutive entries.  Edge configurations are
+presented in both side orders to guarantee symmetric evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Hashable
+
+from repro.lcl.labels import LabelSet
+
+__all__ = ["NodeConfiguration", "EdgeConfiguration", "NeLCL"]
+
+
+@dataclass(frozen=True)
+class NodeConfiguration:
+    """Everything the node constraint of an ne-LCL may inspect at a node.
+
+    ``loop_ports[p]`` marks ports occupied by a self-loop; this is
+    structural information a node sees locally (like its degree), not a
+    label.
+    """
+
+    degree: int
+    node_input: Hashable
+    node_output: Hashable
+    edge_inputs: tuple
+    edge_outputs: tuple
+    half_inputs: tuple
+    half_outputs: tuple
+    loop_ports: tuple = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.loop_ports is None:
+            object.__setattr__(self, "loop_ports", (False,) * self.degree)
+        for name in (
+            "edge_inputs",
+            "edge_outputs",
+            "half_inputs",
+            "half_outputs",
+            "loop_ports",
+        ):
+            if len(getattr(self, name)) != self.degree:
+                raise ValueError(f"{name} must have one entry per port")
+
+    def ports(self) -> range:
+        return range(self.degree)
+
+
+@dataclass(frozen=True)
+class EdgeConfiguration:
+    """Everything the edge constraint may inspect at an edge {u, v}.
+
+    Index 0 is the u side and index 1 the v side; for a self-loop the
+    two sides are the two ports of the same node (and the node labels
+    coincide).  ``flipped()`` swaps the sides; the verifier accepts only
+    if the constraint holds for both orders, which forces effective
+    symmetry.
+    """
+
+    node_inputs: tuple
+    node_outputs: tuple
+    edge_input: Hashable
+    edge_output: Hashable
+    half_inputs: tuple
+    half_outputs: tuple
+    is_loop: bool = False
+
+    def flipped(self) -> "EdgeConfiguration":
+        return EdgeConfiguration(
+            node_inputs=(self.node_inputs[1], self.node_inputs[0]),
+            node_outputs=(self.node_outputs[1], self.node_outputs[0]),
+            edge_input=self.edge_input,
+            edge_output=self.edge_output,
+            half_inputs=(self.half_inputs[1], self.half_inputs[0]),
+            half_outputs=(self.half_outputs[1], self.half_outputs[0]),
+            is_loop=self.is_loop,
+        )
+
+
+@dataclass
+class NeLCL:
+    """A node-edge-checkable LCL problem.
+
+    ``node_constraint`` and ``edge_constraint`` return ``True`` for
+    acceptable configurations.  Alphabets may be ``None`` (shape checked
+    but membership not enforced) or :class:`LabelSet` instances.
+    """
+
+    name: str
+    node_constraint: Callable[[NodeConfiguration], bool]
+    edge_constraint: Callable[[EdgeConfiguration], bool]
+    node_inputs: LabelSet | None = None
+    edge_inputs: LabelSet | None = None
+    half_inputs: LabelSet | None = None
+    node_outputs: LabelSet | None = None
+    edge_outputs: LabelSet | None = None
+    half_outputs: LabelSet | None = None
+    description: str = ""
+    metadata: dict = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        return f"NeLCL({self.name!r})"

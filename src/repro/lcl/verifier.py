@@ -1,0 +1,181 @@
+"""The distributed constant-time verifier for ne-LCLs.
+
+``verify`` is the centralized simulation of the local checking
+procedure that defines LCLs: every node evaluates its node constraint,
+every edge its edge constraint, and the solution is correct iff all
+accept.  Violations carry enough context to pinpoint the failing
+element, which the test-suite and the corruption experiments rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lcl.assignment import Labeling
+from repro.lcl.problem import EdgeConfiguration, NeLCL, NodeConfiguration
+from repro.local.graphs import HalfEdge, PortGraph
+
+__all__ = ["Violation", "Verdict", "verify", "node_configuration", "edge_configuration"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    kind: str  # "node" | "edge" | "domain"
+    where: object  # node index, edge id, or (element kind, key)
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind} @ {self.where}] {self.message}"
+
+
+@dataclass
+class Verdict:
+    ok: bool
+    violations: list[Violation]
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def first(self) -> Violation | None:
+        return self.violations[0] if self.violations else None
+
+    def summary(self, limit: int = 5) -> str:
+        if self.ok:
+            return "accepted"
+        lines = [f"rejected with {len(self.violations)} violation(s):"]
+        lines += [f"  {v}" for v in self.violations[:limit]]
+        if len(self.violations) > limit:
+            lines.append(f"  ... and {len(self.violations) - limit} more")
+        return "\n".join(lines)
+
+
+def node_configuration(
+    graph: PortGraph, v: int, inputs: Labeling, outputs: Labeling
+) -> NodeConfiguration:
+    """Assemble the configuration node ``v`` checks locally."""
+    degree = graph.degree(v)
+    eids = [graph.edge_id_at(v, p) for p in range(degree)]
+    sides = [HalfEdge(v, p) for p in range(degree)]
+    return NodeConfiguration(
+        degree=degree,
+        node_input=inputs.node(v),
+        node_output=outputs.node(v),
+        edge_inputs=tuple(inputs.edge(e) for e in eids),
+        edge_outputs=tuple(outputs.edge(e) for e in eids),
+        half_inputs=tuple(inputs.half(s) for s in sides),
+        half_outputs=tuple(outputs.half(s) for s in sides),
+        loop_ports=tuple(graph.edge(e).is_loop for e in eids),
+    )
+
+
+def edge_configuration(
+    graph: PortGraph, eid: int, inputs: Labeling, outputs: Labeling
+) -> EdgeConfiguration:
+    """Assemble the configuration edge ``eid`` checks locally."""
+    edge = graph.edge(eid)
+    u_side, v_side = edge.a, edge.b
+    return EdgeConfiguration(
+        node_inputs=(inputs.node(u_side.node), inputs.node(v_side.node)),
+        node_outputs=(outputs.node(u_side.node), outputs.node(v_side.node)),
+        edge_input=inputs.edge(eid),
+        edge_output=outputs.edge(eid),
+        half_inputs=(inputs.half(u_side), inputs.half(v_side)),
+        half_outputs=(outputs.half(u_side), outputs.half(v_side)),
+        is_loop=edge.is_loop,
+    )
+
+
+def _domain_violations(
+    problem: NeLCL, graph: PortGraph, labeling: Labeling, direction: str
+) -> list[Violation]:
+    sets = {
+        "node": getattr(problem, f"node_{direction}s"),
+        "edge": getattr(problem, f"edge_{direction}s"),
+        "half": getattr(problem, f"half_{direction}s"),
+    }
+    out: list[Violation] = []
+    if sets["node"] is not None:
+        for v in graph.nodes():
+            if labeling.node(v) not in sets["node"]:
+                out.append(
+                    Violation(
+                        "domain",
+                        ("node", v),
+                        f"{direction} label {labeling.node(v)!r} not in "
+                        f"{sets['node'].name}",
+                    )
+                )
+    if sets["edge"] is not None:
+        for eid in range(graph.num_edges):
+            if labeling.edge(eid) not in sets["edge"]:
+                out.append(
+                    Violation(
+                        "domain",
+                        ("edge", eid),
+                        f"{direction} label {labeling.edge(eid)!r} not in "
+                        f"{sets['edge'].name}",
+                    )
+                )
+    if sets["half"] is not None:
+        for side in graph.half_edges():
+            if labeling.half(side) not in sets["half"]:
+                out.append(
+                    Violation(
+                        "domain",
+                        ("half", side),
+                        f"{direction} label {labeling.half(side)!r} not in "
+                        f"{sets['half'].name}",
+                    )
+                )
+    return out
+
+
+def verify(
+    problem: NeLCL,
+    graph: PortGraph,
+    inputs: Labeling,
+    outputs: Labeling,
+    check_input_domain: bool = False,
+    max_violations: int | None = None,
+) -> Verdict:
+    """Run the distributed checker and collect violations.
+
+    Edge constraints are evaluated on both side orders; both must
+    accept, which makes asymmetric (hence ill-formed) constraints fail
+    loudly instead of silently depending on storage order.
+    """
+    violations: list[Violation] = []
+
+    def full() -> bool:
+        return max_violations is not None and len(violations) >= max_violations
+
+    violations.extend(_domain_violations(problem, graph, outputs, "output"))
+    if check_input_domain:
+        violations.extend(_domain_violations(problem, graph, inputs, "input"))
+
+    for v in graph.nodes():
+        if full():
+            break
+        config = node_configuration(graph, v, inputs, outputs)
+        if not problem.node_constraint(config):
+            violations.append(
+                Violation("node", v, f"node constraint of {problem.name} failed")
+            )
+    for eid in range(graph.num_edges):
+        if full():
+            break
+        config = edge_configuration(graph, eid, inputs, outputs)
+        if not problem.edge_constraint(config):
+            violations.append(
+                Violation("edge", eid, f"edge constraint of {problem.name} failed")
+            )
+        elif not problem.edge_constraint(config.flipped()):
+            violations.append(
+                Violation(
+                    "edge",
+                    eid,
+                    f"edge constraint of {problem.name} is asymmetric "
+                    "(accepted one side order, rejected the other)",
+                )
+            )
+    return Verdict(ok=not violations, violations=violations)

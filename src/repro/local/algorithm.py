@@ -1,0 +1,89 @@
+"""Algorithm-facing containers: problem instances and run results.
+
+An :class:`Instance` bundles everything a LOCAL algorithm receives:
+the port-numbered graph, unique identifiers, the input labeling, the
+size hint ``n`` (nodes know ``n`` and ``max_degree`` up front, paper
+Section 1), and — for randomized algorithms — a seeded randomness
+source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+from repro.local.graphs import PortGraph
+from repro.local.identifiers import IdAssignment, sequential_ids
+from repro.util.rng import NodeRng
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.lcl.assignment import Labeling
+
+__all__ = ["Instance", "RunResult", "LocalAlgorithm"]
+
+
+@dataclass
+class Instance:
+    """One LOCAL-model execution context."""
+
+    graph: PortGraph
+    ids: IdAssignment
+    inputs: "Labeling | None" = None
+    n_hint: int | None = None
+    rng: NodeRng | None = None
+
+    def __post_init__(self) -> None:
+        if len(self.ids) != self.graph.num_nodes:
+            raise ValueError("identifier assignment size mismatch")
+        if self.n_hint is None:
+            self.n_hint = self.graph.num_nodes
+        if self.n_hint < self.graph.num_nodes:
+            raise ValueError("n_hint must upper-bound the number of nodes")
+
+    @classmethod
+    def simple(
+        cls,
+        graph: PortGraph,
+        inputs: "Labeling | None" = None,
+        seed: int | None = None,
+    ) -> "Instance":
+        """An instance with sequential ids and an optional seed."""
+        rng = NodeRng(seed) if seed is not None else None
+        return cls(graph, sequential_ids(graph.num_nodes), inputs, None, rng)
+
+    def require_rng(self) -> NodeRng:
+        if self.rng is None:
+            raise ValueError(
+                "this algorithm is randomized; the instance needs an rng "
+                "(pass seed=... or rng=NodeRng(seed))"
+            )
+        return self.rng
+
+
+@dataclass
+class RunResult:
+    """Outputs plus the locality accounting of one run.
+
+    ``node_radius[v]`` is the view radius node ``v`` consulted; the
+    scalar ``rounds`` is their maximum, i.e. the empirical round
+    complexity of the execution in the LOCAL model.
+    """
+
+    outputs: "Labeling"
+    node_radius: list[int]
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def rounds(self) -> int:
+        return max(self.node_radius, default=0)
+
+
+@runtime_checkable
+class LocalAlgorithm(Protocol):
+    """The interface every solver in this library implements."""
+
+    name: str
+    randomized: bool
+
+    def solve(self, instance: Instance) -> RunResult:  # pragma: no cover
+        ...

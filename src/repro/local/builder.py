@@ -1,0 +1,81 @@
+"""Mutable builder producing frozen :class:`PortGraph` instances."""
+
+from __future__ import annotations
+
+from repro.local.graphs import HalfEdge, PortGraph
+
+__all__ = ["GraphBuilder"]
+
+
+class GraphBuilder:
+    """Accumulates nodes and edges, then freezes into a ``PortGraph``.
+
+    Ports are assigned in insertion order unless given explicitly; an
+    explicit port may not collide with an automatically assigned one, so
+    either use explicit ports for a node consistently or not at all.
+    """
+
+    def __init__(self, num_nodes: int = 0):
+        self._num_nodes = num_nodes
+        self._edges: list[tuple[HalfEdge, HalfEdge]] = []
+        self._next_port: dict[int, int] = {}
+        self._explicit_ports: dict[int, set[int]] = {}
+
+    @property
+    def num_nodes(self) -> int:
+        return self._num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def add_node(self) -> int:
+        """Add one node and return its index."""
+        v = self._num_nodes
+        self._num_nodes += 1
+        return v
+
+    def add_nodes(self, count: int) -> range:
+        """Add ``count`` nodes and return their index range."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        start = self._num_nodes
+        self._num_nodes += count
+        return range(start, self._num_nodes)
+
+    def _take_port(self, v: int, port: int | None) -> int:
+        if not 0 <= v < self._num_nodes:
+            raise ValueError(f"node {v} does not exist")
+        if port is None:
+            port = self._next_port.get(v, 0)
+            while port in self._explicit_ports.get(v, ()):  # skip reserved
+                port += 1
+            self._next_port[v] = port + 1
+            return port
+        if port < 0:
+            raise ValueError("port must be non-negative")
+        taken = self._explicit_ports.setdefault(v, set())
+        if port in taken or port < self._next_port.get(v, 0):
+            raise ValueError(f"port {port} of node {v} already used")
+        taken.add(port)
+        return port
+
+    def add_edge(
+        self,
+        u: int,
+        v: int,
+        u_port: int | None = None,
+        v_port: int | None = None,
+    ) -> int:
+        """Add an edge (possibly a self-loop) and return its edge id."""
+        if u == v and u_port is not None and u_port == v_port:
+            raise ValueError("a self-loop needs two distinct ports")
+        a = HalfEdge(u, self._take_port(u, u_port))
+        b = HalfEdge(v, self._take_port(v, v_port))
+        eid = len(self._edges)
+        self._edges.append((a, b))
+        return eid
+
+    def build(self) -> PortGraph:
+        """Freeze into an immutable :class:`PortGraph`."""
+        return PortGraph(self._num_nodes, self._edges)

@@ -1,0 +1,231 @@
+"""Distance, component, and cycle computations on :class:`PortGraph`.
+
+These are the centralized counterparts of what LOCAL-model nodes do by
+exploring their neighborhoods; solvers use them both to produce outputs
+and to *account* for the view radius a distributed node would have
+needed (see DESIGN.md, "Rounds are measured, not asserted").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterable
+
+from repro.local.graphs import PortGraph
+
+__all__ = [
+    "bfs_distances",
+    "multi_source_bfs",
+    "connected_components",
+    "component_of",
+    "eccentricity",
+    "diameter",
+    "girth",
+    "cycle_containment_radius",
+    "ball",
+    "induced_subgraph",
+]
+
+
+def bfs_distances(
+    graph: PortGraph, source: int, max_radius: int | None = None
+) -> dict[int, int]:
+    """Map every node within ``max_radius`` of ``source`` to its distance."""
+    dist = {source: 0}
+    frontier = deque([source])
+    while frontier:
+        v = frontier.popleft()
+        d = dist[v]
+        if max_radius is not None and d >= max_radius:
+            continue
+        for u in graph.neighbors(v):
+            if u not in dist:
+                dist[u] = d + 1
+                frontier.append(u)
+    return dist
+
+
+def multi_source_bfs(
+    graph: PortGraph, sources: Iterable[int]
+) -> tuple[dict[int, int], dict[int, int]]:
+    """Multi-source BFS.
+
+    Returns ``(dist, parent_edge)`` where ``parent_edge[v]`` is the edge id
+    leading one step closer to the source set (absent for sources and
+    unreachable nodes).  Parents are chosen deterministically: the
+    smallest-eid tie-break, which makes the forest a pure function of the
+    graph and source order.
+    """
+    dist: dict[int, int] = {}
+    parent_edge: dict[int, int] = {}
+    frontier = deque()
+    for s in sources:
+        if s not in dist:
+            dist[s] = 0
+            frontier.append(s)
+    while frontier:
+        v = frontier.popleft()
+        d = dist[v]
+        for port in range(graph.degree(v)):
+            u = graph.neighbor(v, port)
+            if u not in dist:
+                dist[u] = d + 1
+                parent_edge[u] = graph.edge_id_at(v, port)
+                frontier.append(u)
+    return dist, parent_edge
+
+
+def connected_components(graph: PortGraph) -> list[list[int]]:
+    """Connected components as sorted node lists, ordered by minimum node."""
+    seen = [False] * graph.num_nodes
+    components = []
+    for start in graph.nodes():
+        if seen[start]:
+            continue
+        seen[start] = True
+        comp = [start]
+        frontier = deque([start])
+        while frontier:
+            v = frontier.popleft()
+            for u in graph.neighbors(v):
+                if not seen[u]:
+                    seen[u] = True
+                    comp.append(u)
+                    frontier.append(u)
+        components.append(sorted(comp))
+    return components
+
+
+def component_of(graph: PortGraph, v: int) -> list[int]:
+    """The sorted connected component containing ``v``."""
+    dist = bfs_distances(graph, v)
+    return sorted(dist)
+
+
+def eccentricity(graph: PortGraph, v: int) -> int:
+    """Maximum distance from ``v`` within its component."""
+    dist = bfs_distances(graph, v)
+    return max(dist.values())
+
+
+def diameter(graph: PortGraph) -> int:
+    """Maximum eccentricity over all nodes (per component; max of them)."""
+    best = 0
+    for v in graph.nodes():
+        best = max(best, eccentricity(graph, v))
+    return best
+
+
+def girth(graph: PortGraph) -> int | None:
+    """Length of the shortest cycle, or ``None`` for forests.
+
+    Self-loops count as cycles of length 1 and parallel edge pairs as
+    cycles of length 2, matching the multigraph conventions of the paper.
+    """
+    if graph.has_self_loop():
+        return 1
+    if graph.has_parallel_edges():
+        return 2
+    best: int | None = None
+    for source in graph.nodes():
+        # BFS from source; first cross edge yields a cycle through source's
+        # BFS tree of length dist[u] + dist[v] + 1 (a standard upper bound
+        # that is tight when minimized over all sources).
+        dist = {source: 0}
+        parent = {source: -1}
+        frontier = deque([source])
+        while frontier:
+            v = frontier.popleft()
+            if best is not None and dist[v] * 2 >= best:
+                continue
+            for port in range(graph.degree(v)):
+                u = graph.neighbor(v, port)
+                eid = graph.edge_id_at(v, port)
+                if u not in dist:
+                    dist[u] = dist[v] + 1
+                    parent[u] = eid
+                    frontier.append(u)
+                elif parent[v] != eid:
+                    length = dist[u] + dist[v] + 1
+                    if best is None or length < best:
+                        best = length
+    return best
+
+
+def cycle_containment_radius(
+    graph: PortGraph, v: int, max_radius: int | None = None
+) -> int | None:
+    """The smallest ``r`` such that ``ball(v, r)`` contains a full cycle.
+
+    This is the quantity ``h(v)`` used by the deterministic sinkless
+    orientation solver: a node exploring radius ``r`` can certify a cycle
+    as soon as one is fully contained in its view.  Equivalently it is
+    the BFS depth at which the first non-tree edge with both endpoints
+    discovered appears.  Returns ``None`` if no cycle exists within
+    ``max_radius`` (or at all).
+    """
+    # A self-loop or parallel pair at distance d is found at radius d (+1).
+    dist = {v: 0}
+    parent = {v: -1}
+    frontier = deque([v])
+    while frontier:
+        x = frontier.popleft()
+        d = dist[x]
+        if max_radius is not None and d > max_radius:
+            return None
+        for port in range(graph.degree(x)):
+            u = graph.neighbor(x, port)
+            eid = graph.edge_id_at(x, port)
+            if u == x:  # self-loop: cycle within radius d
+                return d
+            if u not in dist:
+                dist[u] = d + 1
+                parent[u] = eid
+                frontier.append(u)
+            elif parent[x] != eid:
+                # Non-tree edge between x (depth d) and u (depth dist[u]):
+                # the cycle through the two BFS branches is contained in
+                # the ball of radius max(d, dist[u]).
+                radius = max(d, dist[u])
+                if max_radius is None or radius <= max_radius:
+                    return radius
+                return None
+    return None
+
+
+def ball(graph: PortGraph, v: int, radius: int) -> dict[int, int]:
+    """Nodes within ``radius`` of ``v`` mapped to their distance."""
+    return bfs_distances(graph, v, max_radius=radius)
+
+
+def induced_subgraph(
+    graph: PortGraph, nodes: Iterable[int]
+) -> tuple[PortGraph, dict[int, int]]:
+    """The subgraph induced by ``nodes``.
+
+    Returns ``(subgraph, mapping)`` with ``mapping[original] = local``.
+    Surviving edges keep their relative port order per node, so local
+    views preserve the port structure of the original graph.
+    """
+    from repro.local.graphs import HalfEdge
+
+    keep = sorted(set(nodes))
+    mapping = {v: i for i, v in enumerate(keep)}
+    keep_set = set(keep)
+    # Assign new ports per node in original port order.
+    new_port: dict[HalfEdge, int] = {}
+    for v in keep:
+        next_p = 0
+        for port in range(graph.degree(v)):
+            edge = graph.edge_at(v, port)
+            other = edge.other_side(HalfEdge(v, port))
+            if other.node in keep_set:
+                new_port[HalfEdge(v, port)] = next_p
+                next_p += 1
+    edges = []
+    for edge in graph.edges():
+        if edge.a.node in keep_set and edge.b.node in keep_set:
+            a = HalfEdge(mapping[edge.a.node], new_port[edge.a])
+            b = HalfEdge(mapping[edge.b.node], new_port[edge.b])
+            edges.append((a, b))
+    return PortGraph(len(keep), edges), mapping

@@ -1,0 +1,230 @@
+"""Port-numbered multigraphs for the LOCAL model.
+
+The paper (Section 2) works with graphs that may be disconnected and may
+contain self-loops and parallel edges, where every node numbers its
+incident edges with ports ``1..deg(v)``.  ``PortGraph`` is an immutable
+representation of exactly that object:
+
+* A **half-edge** is a pair ``(node, port)``.  Half-edges are the set
+  ``B`` of incident node-edge pairs from the paper's ne-LCL formalism;
+  with parallel edges the pair ``(node, edge)`` would be ambiguous, the
+  pair ``(node, port)`` never is.
+* An **edge** joins two half-edges.  A self-loop joins two distinct ports
+  of the same node and therefore still contributes two half-edges.
+
+Ports are 0-based in code (the paper's ``Port_1..Port_d`` maps to ports
+``0..d-1``); all public formatting uses the 0-based convention
+consistently.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, NamedTuple, Sequence
+
+__all__ = ["HalfEdge", "Edge", "PortGraph"]
+
+
+class HalfEdge(NamedTuple):
+    """One side of an edge: a (node, port) incidence."""
+
+    node: int
+    port: int
+
+
+class Edge(NamedTuple):
+    """An undirected edge joining two half-edges.
+
+    ``a`` and ``b`` are stored in a canonical order (smaller endpoint
+    first) but carry no orientation; orientations are outputs of
+    algorithms, never part of the graph.
+    """
+
+    eid: int
+    a: HalfEdge
+    b: HalfEdge
+
+    @property
+    def is_loop(self) -> bool:
+        return self.a.node == self.b.node
+
+    def nodes(self) -> tuple[int, int]:
+        return (self.a.node, self.b.node)
+
+    def other_side(self, side: HalfEdge) -> HalfEdge:
+        """Return the opposite half-edge of ``side`` on this edge."""
+        if side == self.a:
+            return self.b
+        if side == self.b:
+            return self.a
+        raise ValueError(f"{side} is not an endpoint of edge {self.eid}")
+
+
+class PortGraph:
+    """An immutable port-numbered multigraph.
+
+    Construct instances with :class:`repro.local.builder.GraphBuilder` or
+    the convenience classmethod :meth:`from_edge_list`.
+    """
+
+    __slots__ = ("_num_nodes", "_edges", "_adj", "_frozen")
+
+    def __init__(self, num_nodes: int, edges: Sequence[tuple[HalfEdge, HalfEdge]]):
+        if num_nodes < 0:
+            raise ValueError("num_nodes must be non-negative")
+        self._num_nodes = num_nodes
+        self._edges: list[Edge] = []
+        # _adj[v][p] = eid of the edge attached to port p of node v
+        self._adj: list[list[int]] = [[] for _ in range(num_nodes)]
+        occupied: set[HalfEdge] = set()
+        for eid, (a, b) in enumerate(edges):
+            a = HalfEdge(*a)
+            b = HalfEdge(*b)
+            if a > b:
+                a, b = b, a
+            for side in (a, b):
+                if not 0 <= side.node < num_nodes:
+                    raise ValueError(f"edge endpoint {side} out of range")
+                if side.port < 0:
+                    raise ValueError(f"negative port in {side}")
+                if side in occupied:
+                    raise ValueError(f"port {side} used by two edges")
+                occupied.add(side)
+            if a == b:
+                raise ValueError("an edge must join two distinct half-edges")
+            self._edges.append(Edge(eid, a, b))
+        # Materialize adjacency; ports must form a contiguous 0..deg-1 range.
+        per_node: list[dict[int, int]] = [dict() for _ in range(num_nodes)]
+        for edge in self._edges:
+            per_node[edge.a.node][edge.a.port] = edge.eid
+            per_node[edge.b.node][edge.b.port] = edge.eid
+        for v, ports in enumerate(per_node):
+            degree = len(ports)
+            if ports and (min(ports) != 0 or max(ports) != degree - 1):
+                raise ValueError(
+                    f"node {v} has non-contiguous ports {sorted(ports)}"
+                )
+            self._adj[v] = [ports[p] for p in range(degree)]
+        self._frozen = True
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def from_edge_list(
+        cls, num_nodes: int, pairs: Sequence[tuple[int, int]]
+    ) -> "PortGraph":
+        """Build a graph from (u, v) pairs, assigning ports in input order."""
+        next_port = [0] * num_nodes
+        edges = []
+        for u, v in pairs:
+            pu = next_port[u]
+            next_port[u] += 1
+            pv = next_port[v]
+            next_port[v] += 1
+            edges.append((HalfEdge(u, pu), HalfEdge(v, pv)))
+        return cls(num_nodes, edges)
+
+    # -- basic size queries ----------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return self._num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def degree(self, v: int) -> int:
+        return len(self._adj[v])
+
+    @property
+    def max_degree(self) -> int:
+        if self._num_nodes == 0:
+            return 0
+        return max(len(ports) for ports in self._adj)
+
+    def min_degree(self) -> int:
+        if self._num_nodes == 0:
+            return 0
+        return min(len(ports) for ports in self._adj)
+
+    # -- iteration ---------------------------------------------------------------
+
+    def nodes(self) -> range:
+        return range(self._num_nodes)
+
+    def edges(self) -> Iterator[Edge]:
+        return iter(self._edges)
+
+    def half_edges(self) -> Iterator[HalfEdge]:
+        """All half-edges of the graph (the set B of the paper)."""
+        for edge in self._edges:
+            yield edge.a
+            yield edge.b
+
+    def half_edges_of(self, v: int) -> Iterator[HalfEdge]:
+        for port in range(len(self._adj[v])):
+            yield HalfEdge(v, port)
+
+    # -- incidence queries ---------------------------------------------------------
+
+    def edge(self, eid: int) -> Edge:
+        return self._edges[eid]
+
+    def edge_id_at(self, v: int, port: int) -> int:
+        return self._adj[v][port]
+
+    def edge_at(self, v: int, port: int) -> Edge:
+        return self._edges[self._adj[v][port]]
+
+    def endpoint(self, v: int, port: int) -> HalfEdge:
+        """The half-edge reached by leaving ``v`` through ``port``.
+
+        For a self-loop on ports ``p`` and ``q`` of ``v``,
+        ``endpoint(v, p)`` is ``HalfEdge(v, q)``.
+        """
+        edge = self._edges[self._adj[v][port]]
+        return edge.other_side(HalfEdge(v, port))
+
+    def neighbor(self, v: int, port: int) -> int:
+        return self.endpoint(v, port).node
+
+    def neighbors(self, v: int) -> Iterator[int]:
+        """Neighbors of ``v`` with multiplicity, in port order."""
+        for port in range(len(self._adj[v])):
+            yield self.endpoint(v, port).node
+
+    def incident_edges(self, v: int) -> Iterator[Edge]:
+        """Incident edges in port order; a self-loop appears twice."""
+        for eid in self._adj[v]:
+            yield self._edges[eid]
+
+    def half_edge_of_edge(self, v: int, eid: int) -> HalfEdge:
+        """The half-edge of ``eid`` at node ``v`` (first port for loops)."""
+        edge = self._edges[eid]
+        if edge.a.node == v:
+            return edge.a
+        if edge.b.node == v:
+            return edge.b
+        raise ValueError(f"node {v} is not an endpoint of edge {eid}")
+
+    # -- structural predicates -------------------------------------------------------
+
+    def has_self_loop(self) -> bool:
+        return any(edge.is_loop for edge in self._edges)
+
+    def has_parallel_edges(self) -> bool:
+        seen: set[tuple[int, int]] = set()
+        for edge in self._edges:
+            if edge.is_loop:
+                continue
+            key = (edge.a.node, edge.b.node)
+            if key in seen:
+                return True
+            seen.add(key)
+        return False
+
+    def is_simple(self) -> bool:
+        return not self.has_self_loop() and not self.has_parallel_edges()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PortGraph(n={self._num_nodes}, m={self.num_edges})"

@@ -1,0 +1,67 @@
+"""Unique identifier assignments from {1, ..., poly(n)}.
+
+In the LOCAL model nodes carry unique identifiers from a polynomial
+range (paper, Section 1).  Deterministic algorithms may use them for
+symmetry breaking; the choice of assignment is part of the (worst-case)
+input, so generators for several adversary styles are provided.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+__all__ = ["IdAssignment", "sequential_ids", "random_ids", "reversed_ids"]
+
+
+class IdAssignment:
+    """An injective map from node indices to positive identifiers."""
+
+    def __init__(self, ids: Sequence[int]):
+        ids = list(ids)
+        if len(set(ids)) != len(ids):
+            raise ValueError("identifiers must be unique")
+        if any(i <= 0 for i in ids):
+            raise ValueError("identifiers must be positive")
+        self._ids = ids
+        self._inverse = {identifier: v for v, identifier in enumerate(ids)}
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def of(self, v: int) -> int:
+        """The identifier of node ``v``."""
+        return self._ids[v]
+
+    def node_with(self, identifier: int) -> int:
+        """The node carrying ``identifier``."""
+        return self._inverse[identifier]
+
+    def max_id(self) -> int:
+        return max(self._ids) if self._ids else 0
+
+    def as_list(self) -> list[int]:
+        return list(self._ids)
+
+
+def sequential_ids(n: int) -> IdAssignment:
+    """Node ``v`` gets identifier ``v + 1``."""
+    return IdAssignment(range(1, n + 1))
+
+
+def reversed_ids(n: int) -> IdAssignment:
+    """Node ``v`` gets identifier ``n - v`` (an easy adversarial twist)."""
+    return IdAssignment(range(n, 0, -1))
+
+
+def random_ids(n: int, rng: random.Random, space_exponent: int = 2) -> IdAssignment:
+    """A uniform injective assignment into {1, ..., n**space_exponent}.
+
+    ``space_exponent >= 1``; the default quadratic space matches the
+    usual poly(n) identifier-space assumption.
+    """
+    if space_exponent < 1:
+        raise ValueError("space_exponent must be at least 1")
+    space = max(n, n**space_exponent)
+    ids = rng.sample(range(1, space + 1), n)
+    return IdAssignment(ids)

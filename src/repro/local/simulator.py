@@ -1,0 +1,124 @@
+"""Synchronous message-passing engine for the LOCAL model.
+
+The engine runs the classical formulation of the model: in every round
+each node sends one (arbitrarily large) message through each port,
+receives the messages of its neighbors, and updates its state.  Round
+counting is exact: the reported complexity is the number of rounds
+executed before every node has halted.
+
+Algorithms naturally expressed round-by-round (Cole–Vishkin, Luby)
+use this engine; view-based algorithms use
+:class:`repro.local.views.ViewOracle` instead.  Section 2 of the paper
+notes the two are equivalent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Protocol
+
+from repro.local.algorithm import Instance
+
+__all__ = ["NodeProtocol", "SyncEngine", "MessageRound", "EngineResult"]
+
+
+class NodeProtocol(Protocol):
+    """Behaviour of one node in the synchronous engine.
+
+    The engine instantiates one object per node via the factory passed to
+    :class:`SyncEngine`.  A node halts by returning ``None`` from
+    ``outgoing``; once every node has halted the run is over.  A halted
+    node still has its final state inspected through ``result``.
+    """
+
+    def outgoing(self, round_index: int) -> list[Any] | None:  # pragma: no cover
+        """Messages for ports 0..deg-1 this round, or None to halt."""
+        ...
+
+    def receive(self, round_index: int, inbox: list[Any]) -> None:  # pragma: no cover
+        """Deliver the per-port messages of this round."""
+        ...
+
+    def result(self) -> Any:  # pragma: no cover
+        """Final local output once the node halted."""
+        ...
+
+
+@dataclass
+class MessageRound:
+    index: int
+    active: int
+
+
+@dataclass
+class EngineResult:
+    """Per-node results and the exact number of rounds executed."""
+
+    results: list[Any]
+    rounds: int
+    trace: list[MessageRound]
+
+    def node_radius(self) -> list[int]:
+        """Message rounds translate to a uniform view radius."""
+        return [self.rounds] * len(self.results)
+
+
+class SyncEngine:
+    """Runs node objects in lock-step synchronous rounds."""
+
+    def __init__(self, instance: Instance, node_factory: Callable[[int, Instance], NodeProtocol]):
+        self.instance = instance
+        self.graph = instance.graph
+        self.nodes = [node_factory(v, instance) for v in self.graph.nodes()]
+
+    def run(self, max_rounds: int = 10_000) -> EngineResult:
+        graph = self.graph
+        halted = [False] * graph.num_nodes
+        trace: list[MessageRound] = []
+        rounds = 0
+        for round_index in range(max_rounds):
+            outboxes: list[list[Any] | None] = []
+            active = 0
+            for v, node in enumerate(self.nodes):
+                if halted[v]:
+                    outboxes.append(None)
+                    continue
+                out = node.outgoing(round_index)
+                if out is None:
+                    halted[v] = True
+                    outboxes.append(None)
+                    continue
+                if len(out) != graph.degree(v):
+                    raise ValueError(
+                        f"node {v} produced {len(out)} messages for "
+                        f"{graph.degree(v)} ports"
+                    )
+                outboxes.append(out)
+                active += 1
+            if active == 0:
+                break
+            rounds += 1
+            trace.append(MessageRound(round_index, active))
+            # Deliver: the message leaving (u, p) arrives at the half-edge
+            # across the edge.  Halted nodes send nothing; their neighbors
+            # receive an explicit None on that port.
+            inboxes: list[list[Any]] = [
+                [None] * graph.degree(v) for v in graph.nodes()
+            ]
+            for v in graph.nodes():
+                out = outboxes[v]
+                if out is None:
+                    continue
+                for port in range(graph.degree(v)):
+                    target = graph.endpoint(v, port)
+                    inboxes[target.node][target.port] = out[port]
+            for v, node in enumerate(self.nodes):
+                if not halted[v]:
+                    node.receive(round_index, inboxes[v])
+        else:
+            raise RuntimeError(f"engine did not converge in {max_rounds} rounds")
+        return EngineResult(
+            results=[node.result() for node in self.nodes],
+            rounds=rounds,
+            trace=trace,
+        )

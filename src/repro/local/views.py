@@ -1,0 +1,109 @@
+"""Radius-metered local views.
+
+In the LOCAL model, a T-round algorithm is exactly a function of each
+node's radius-T view (paper, Section 2).  :class:`ViewOracle` serves
+balls around nodes through an incremental BFS and records the largest
+radius each node ever consulted; that record *is* the empirical round
+complexity reported by the harness.
+
+Solvers that compute global structure directly (for speed) instead call
+:meth:`charge` to account the radius a distributed implementation would
+have needed; either way the number lands in the same meter.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.local.distances import induced_subgraph
+from repro.local.graphs import PortGraph
+
+__all__ = ["ViewOracle", "View"]
+
+
+class View:
+    """A radius-``r`` view around ``center``: nodes, distances, subgraph.
+
+    ``subgraph()`` materializes the induced subgraph on demand (with a
+    mapping back to original node indices) for algorithms that want to
+    run offline computations on the view.
+    """
+
+    def __init__(self, graph: PortGraph, center: int, radius: int, dist: dict[int, int]):
+        self._graph = graph
+        self.center = center
+        self.radius = radius
+        self.dist = dist
+
+    def __contains__(self, v: int) -> bool:
+        return v in self.dist
+
+    def nodes(self) -> list[int]:
+        return sorted(self.dist)
+
+    def boundary(self) -> list[int]:
+        """Nodes at exactly the view radius (where knowledge ends)."""
+        return sorted(v for v, d in self.dist.items() if d == self.radius)
+
+    def subgraph(self) -> tuple[PortGraph, dict[int, int]]:
+        return induced_subgraph(self._graph, self.dist)
+
+
+class ViewOracle:
+    """Serves views and meters the maximum radius used per node."""
+
+    def __init__(self, graph: PortGraph):
+        self.graph = graph
+        self._radius_used = [0] * graph.num_nodes
+        # Incremental BFS state per node: (dist map, current frontier, radius)
+        self._state: dict[int, tuple[dict[int, int], deque, int]] = {}
+
+    # -- metering ------------------------------------------------------------
+
+    def charge(self, v: int, radius: int) -> None:
+        """Record that node ``v`` needed a view of at least ``radius``."""
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        if radius > self._radius_used[v]:
+            self._radius_used[v] = radius
+
+    def radius_used(self, v: int) -> int:
+        return self._radius_used[v]
+
+    def node_radii(self) -> list[int]:
+        return list(self._radius_used)
+
+    def rounds(self) -> int:
+        """The empirical round complexity: max radius over all nodes."""
+        return max(self._radius_used, default=0)
+
+    # -- view service -----------------------------------------------------------
+
+    def _grow_to(self, v: int, radius: int) -> dict[int, int]:
+        state = self._state.get(v)
+        if state is None:
+            state = ({v: 0}, deque([v]), 0)
+            self._state[v] = state
+        dist, frontier, current = state
+        while current < radius and frontier:
+            next_frontier = deque()
+            for x in frontier:
+                for u in self.graph.neighbors(x):
+                    if u not in dist:
+                        dist[u] = current + 1
+                        next_frontier.append(u)
+            frontier = next_frontier
+            current += 1
+        self._state[v] = (dist, frontier, max(current, radius))
+        return dist
+
+    def view(self, v: int, radius: int) -> View:
+        """The radius-``radius`` view of ``v``; meters the access."""
+        self.charge(v, radius)
+        dist = self._grow_to(v, radius)
+        trimmed = {u: d for u, d in dist.items() if d <= radius}
+        return View(self.graph, v, radius, trimmed)
+
+    def forget(self, v: int) -> None:
+        """Drop cached BFS state for ``v`` (metering is kept)."""
+        self._state.pop(v, None)

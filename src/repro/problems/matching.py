@@ -1,0 +1,217 @@
+"""Maximal matching as an ne-LCL, with deterministic and randomized solvers.
+
+Half-edge output: ``(edge_matched, i_am_matched, other_is_matched)``.
+Edge constraints force the two halves to mirror each other; node
+constraints force at most one matched incidence, consistency of the
+"am matched" bit, and maximality (an unmatched node sees only matched
+neighbors).
+
+The deterministic solver colors the *line graph* with Linial's
+algorithm and sweeps color classes; the randomized one is a Luby-style
+proposal scheme on edges.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.lcl.assignment import Labeling
+from repro.lcl.labels import LabelSet
+from repro.lcl.problem import EdgeConfiguration, NeLCL, NodeConfiguration
+from repro.local.algorithm import Instance, RunResult
+from repro.local.graphs import PortGraph
+from repro.local.identifiers import IdAssignment
+from repro.problems.coloring import LinialColoringSolver
+
+__all__ = [
+    "MaximalMatching",
+    "line_graph",
+    "ColorClassMatchingSolver",
+    "LubyMatchingSolver",
+    "matching_labeling",
+]
+
+_BITS = (0, 1)
+_HALF = LabelSet(
+    "matching-half", {(m, a, b) for m in _BITS for a in _BITS for b in _BITS}
+)
+
+
+class MaximalMatching:
+    """Factory for the maximal-matching ne-LCL (loops never matched)."""
+
+    def problem(self) -> NeLCL:
+        def node_ok(cfg: NodeConfiguration) -> bool:
+            matched_ports = [
+                p for p in cfg.ports() if cfg.half_outputs[p][0] == 1
+            ]
+            own = {cfg.half_outputs[p][1] for p in cfg.ports()}
+            if len(own) > 1:
+                return False
+            am_matched = own.pop() if own else 0
+            if am_matched != (1 if matched_ports else 0):
+                return False
+            if len(matched_ports) > 1:
+                return False
+            if cfg.degree > 0 and am_matched == 0:
+                # maximality: every neighbor across a real (non-loop)
+                # edge must be matched
+                return all(
+                    cfg.half_outputs[p][2] == 1
+                    for p in cfg.ports()
+                    if not cfg.loop_ports[p]
+                )
+            return True
+
+        def edge_ok(cfg: EdgeConfiguration) -> bool:
+            (m1, a1, b1), (m2, a2, b2) = cfg.half_outputs
+            if m1 != m2:
+                return False
+            if cfg.is_loop:
+                return m1 == 0 and a1 == b1 == a2 == b2
+            if a1 != b2 or a2 != b1:
+                return False
+            if m1 == 1 and not (a1 == 1 and a2 == 1):
+                return False
+            return True
+
+        return NeLCL(
+            name="maximal-matching",
+            node_constraint=node_ok,
+            edge_constraint=edge_ok,
+            half_outputs=_HALF,
+            description="maximal matching (no two matched edges share a node)",
+        )
+
+
+def matching_labeling(graph: PortGraph, matched_edges: set[int]) -> Labeling:
+    """Encode a matching (set of edge ids) into the output format."""
+    node_matched = [0] * graph.num_nodes
+    for eid in matched_edges:
+        edge = graph.edge(eid)
+        node_matched[edge.a.node] = 1
+        node_matched[edge.b.node] = 1
+    labeling = Labeling(graph)
+    for edge in graph.edges():
+        m = 1 if edge.eid in matched_edges else 0
+        a, b = edge.a.node, edge.b.node
+        labeling.set_half(edge.a, (m, node_matched[a], node_matched[b]))
+        labeling.set_half(edge.b, (m, node_matched[b], node_matched[a]))
+    return labeling
+
+
+def line_graph(graph: PortGraph) -> PortGraph:
+    """The line graph: one node per edge, adjacency = shared endpoint.
+
+    Self-loops of the base graph become isolated line-graph nodes (they
+    are never matchable); parallel base edges become adjacent line
+    nodes.  Each shared endpoint contributes exactly one line edge.
+    """
+    pairs = []
+    for v in graph.nodes():
+        incident = sorted({graph.edge_id_at(v, p) for p in range(graph.degree(v))})
+        incident = [e for e in incident if not graph.edge(e).is_loop]
+        for i, e1 in enumerate(incident):
+            for e2 in incident[i + 1 :]:
+                pairs.append((e1, e2))
+    return PortGraph.from_edge_list(graph.num_edges, pairs)
+
+
+class ColorClassMatchingSolver:
+    """Deterministic maximal matching via line-graph coloring."""
+
+    name = "matching-line-coloring"
+    randomized = False
+
+    def solve(self, instance: Instance) -> RunResult:
+        graph = instance.graph
+        if graph.num_edges == 0:
+            return RunResult(matching_labeling(graph, set()), [0] * graph.num_nodes)
+        lg = line_graph(graph)
+        # Identifier of a line node = identifier pair of its endpoints,
+        # flattened injectively; communication on the line graph costs a
+        # constant factor on the base graph, accounted below.
+        base = instance.ids.max_id() + 1
+        line_ids = []
+        for edge in graph.edges():
+            lo, hi = sorted(
+                (instance.ids.of(edge.a.node), instance.ids.of(edge.b.node))
+            )
+            line_ids.append(lo * base + hi + 1)
+        line_instance = Instance(
+            lg, IdAssignment(line_ids), None, None, instance.rng
+        )
+        coloring_run = LinialColoringSolver().solve(line_instance)
+        colors = [coloring_run.outputs.node(e) for e in lg.nodes()]
+        palette = max(colors, default=0) + 1
+        matched: set[int] = set()
+        node_matched = [False] * graph.num_nodes
+        sweep_rounds = 0
+        for c in range(palette):
+            sweep_rounds += 1
+            for eid in range(graph.num_edges):
+                edge = graph.edge(eid)
+                if colors[eid] != c or edge.is_loop:
+                    continue
+                if not node_matched[edge.a.node] and not node_matched[edge.b.node]:
+                    matched.add(eid)
+                    node_matched[edge.a.node] = True
+                    node_matched[edge.b.node] = True
+        line_rounds = coloring_run.rounds
+        total_rounds = 2 * line_rounds + sweep_rounds + 1
+        return RunResult(
+            outputs=matching_labeling(graph, matched),
+            node_radius=[total_rounds] * graph.num_nodes,
+            extras={
+                "line_coloring_rounds": line_rounds,
+                "sweep_rounds": sweep_rounds,
+                "matching_size": len(matched),
+            },
+        )
+
+
+class LubyMatchingSolver:
+    """Randomized maximal matching by iterated edge proposals."""
+
+    name = "matching-luby"
+    randomized = True
+
+    def solve(self, instance: Instance) -> RunResult:
+        graph = instance.graph
+        rng = instance.require_rng()
+        stream = rng.global_stream()
+        live = {e.eid for e in graph.edges() if not e.is_loop}
+        matched: set[int] = set()
+        node_matched = [False] * graph.num_nodes
+        rounds = 0
+        while live:
+            rounds += 1
+            marks = {eid: stream.random() for eid in live}
+            for eid in sorted(live):
+                edge = graph.edge(eid)
+                a, b = edge.a.node, edge.b.node
+                competitors = set()
+                for v in (a, b):
+                    for port in range(graph.degree(v)):
+                        other = graph.edge_id_at(v, port)
+                        if other in live and other != eid:
+                            competitors.add(other)
+                if all(marks[eid] < marks[c] for c in competitors):
+                    if not node_matched[a] and not node_matched[b]:
+                        matched.add(eid)
+                        node_matched[a] = True
+                        node_matched[b] = True
+            live = {
+                eid
+                for eid in live
+                if eid not in matched
+                and not node_matched[graph.edge(eid).a.node]
+                and not node_matched[graph.edge(eid).b.node]
+            }
+            if rounds > 64 * max(graph.num_edges, 2):  # pragma: no cover
+                raise RuntimeError("matching proposals did not converge")
+        return RunResult(
+            outputs=matching_labeling(graph, matched),
+            node_radius=[rounds] * graph.num_nodes,
+            extras={"proposal_rounds": rounds, "matching_size": len(matched)},
+        )

@@ -1,0 +1,58 @@
+"""Trivial LCLs: the O(1) anchors of the complexity landscape."""
+
+from __future__ import annotations
+
+from repro.lcl.assignment import Labeling
+from repro.lcl.labels import LabelSet
+from repro.lcl.problem import NeLCL
+from repro.local.algorithm import Instance, RunResult
+
+__all__ = ["ConstantLabelProblem", "ConstantSolver", "ParityOfDegreeProblem"]
+
+
+class ConstantLabelProblem:
+    """Every node outputs the fixed label; always satisfiable in 0 rounds."""
+
+    def __init__(self, label: str = "ok"):
+        self.label = label
+
+    def problem(self) -> NeLCL:
+        label = self.label
+        return NeLCL(
+            name=f"constant({label})",
+            node_constraint=lambda cfg: cfg.node_output == label,
+            edge_constraint=lambda cfg: True,
+            node_outputs=LabelSet("constant", {label}),
+            description="the trivial LCL: output a fixed label",
+        )
+
+
+class ParityOfDegreeProblem:
+    """Output your degree's parity; a 0-round but non-constant LCL."""
+
+    def problem(self) -> NeLCL:
+        return NeLCL(
+            name="degree-parity",
+            node_constraint=lambda cfg: cfg.node_output == cfg.degree % 2,
+            edge_constraint=lambda cfg: True,
+            node_outputs=LabelSet("parity", {0, 1}),
+            description="label each node with deg(v) mod 2",
+        )
+
+
+class ConstantSolver:
+    """Solves both trivial problems in zero rounds."""
+
+    name = "constant"
+    randomized = False
+
+    def __init__(self, label: str | None = "ok", parity: bool = False):
+        self.label = label
+        self.parity = parity
+
+    def solve(self, instance: Instance) -> RunResult:
+        graph = instance.graph
+        outputs = Labeling(graph)
+        for v in graph.nodes():
+            outputs.set_node(v, graph.degree(v) % 2 if self.parity else self.label)
+        return RunResult(outputs=outputs, node_radius=[0] * graph.num_nodes)

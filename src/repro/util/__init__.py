@@ -1,0 +1,18 @@
+"""Small shared utilities: integer log helpers and seeded randomness."""
+
+from repro.util.logmath import (
+    ceil_log2,
+    floor_log2,
+    iterated_log,
+    log_star,
+)
+from repro.util.rng import NodeRng, fork_rng
+
+__all__ = [
+    "ceil_log2",
+    "floor_log2",
+    "iterated_log",
+    "log_star",
+    "NodeRng",
+    "fork_rng",
+]

@@ -1,0 +1,56 @@
+"""Integer logarithm helpers used throughout the complexity accounting.
+
+The paper states all bounds in terms of ``log n``, ``log log n`` and
+``log* n``; these helpers provide exact integer versions so that measured
+round counts can be compared against predictions without floating-point
+ambiguity at small ``n``.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["floor_log2", "ceil_log2", "iterated_log", "log_star"]
+
+
+def floor_log2(x: int) -> int:
+    """Return ``floor(log2(x))`` for a positive integer ``x``."""
+    if x <= 0:
+        raise ValueError(f"floor_log2 requires a positive integer, got {x}")
+    return x.bit_length() - 1
+
+
+def ceil_log2(x: int) -> int:
+    """Return ``ceil(log2(x))`` for a positive integer ``x``."""
+    if x <= 0:
+        raise ValueError(f"ceil_log2 requires a positive integer, got {x}")
+    return (x - 1).bit_length()
+
+
+def iterated_log(x: float, iterations: int) -> float:
+    """Apply ``log2`` to ``x`` the given number of times.
+
+    Values are clamped at 1 from below between applications so that the
+    function stays defined for the small ``n`` used in tests.
+    """
+    if iterations < 0:
+        raise ValueError("iterations must be non-negative")
+    value = float(x)
+    for _ in range(iterations):
+        value = math.log2(max(value, 1.0) + 1e-12) if value > 1.0 else 0.0
+        if value <= 0.0:
+            return 0.0
+    return value
+
+
+def log_star(x: float) -> int:
+    """Return ``log* x``: the number of times ``log2`` must be applied
+    before the value drops to at most 1."""
+    count = 0
+    value = float(x)
+    while value > 1.0:
+        value = math.log2(value)
+        count += 1
+        if count > 64:  # unreachable for sane inputs; guards bad floats
+            raise OverflowError(f"log_star did not converge for {x!r}")
+    return count

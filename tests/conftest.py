@@ -1,0 +1,55 @@
+"""Shared fixtures and hypothesis strategies for the test-suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.generators import cycle, random_regular
+from repro.local import GraphBuilder, PortGraph
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def small_cycle() -> PortGraph:
+    return cycle(8)
+
+
+@pytest.fixture
+def cubic_graph(rng) -> PortGraph:
+    return random_regular(64, 3, rng)
+
+
+def build_multigraph(num_nodes: int, edge_plan: list[tuple[int, int]]) -> PortGraph:
+    """Build a graph from (u, v) pairs allowing loops and parallels."""
+    builder = GraphBuilder(num_nodes)
+    for u, v in edge_plan:
+        builder.add_edge(u, v)
+    return builder.build()
+
+
+@st.composite
+def multigraphs(draw, max_nodes: int = 12, max_edges: int = 24):
+    """Random multigraphs (loops and parallel edges allowed)."""
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    m = draw(st.integers(min_value=0, max_value=max_edges))
+    pairs = [
+        (draw(st.integers(0, n - 1)), draw(st.integers(0, n - 1)))
+        for _ in range(m)
+    ]
+    return build_multigraph(n, pairs)
+
+
+@st.composite
+def simple_graphs(draw, max_nodes: int = 12):
+    """Random simple graphs via edge subsets of K_n."""
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    all_pairs = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    chosen = draw(st.lists(st.sampled_from(all_pairs), unique=True, max_size=len(all_pairs))) if all_pairs else []
+    return PortGraph.from_edge_list(n, chosen)

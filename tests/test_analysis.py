@@ -1,0 +1,121 @@
+"""Tests for growth fitting, sweeps, and table rendering."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    GROWTH_FUNCTIONS,
+    best_fit,
+    fit_growth,
+    ratio_series,
+    render_table,
+    run_sweep,
+)
+from repro.generators.hard import cubic_instance
+from repro.problems import RandomizedSinklessSolver
+
+NS = [2**k for k in range(4, 15)]
+
+
+class TestGrowthFit:
+    @pytest.mark.parametrize(
+        "name", ["log", "log^2", "loglog", "log loglog", "sqrt"]
+    )
+    def test_recovers_generated_shape(self, name):
+        g = GROWTH_FUNCTIONS[name]
+        rounds = [3.0 * g(n) + 2.0 for n in NS]
+        fit = best_fit(NS, rounds)
+        assert fit.name == name
+        assert fit.scale == pytest.approx(3.0, rel=1e-6)
+
+    def test_recovers_with_noise(self):
+        rng = random.Random(1)
+        g = GROWTH_FUNCTIONS["log^2"]
+        rounds = [2.0 * g(n) + rng.uniform(-2, 2) for n in NS]
+        fit = best_fit(NS, rounds)
+        assert fit.name in ("log^2", "log^2 loglog")
+
+    def test_constant_series(self):
+        fit = best_fit(NS, [7.0] * len(NS))
+        assert fit.name == "1"
+        assert fit.predict(10**6) == pytest.approx(7.0)
+
+    def test_candidates_restriction(self):
+        rounds = [5 * math.log2(n) for n in NS]
+        fit = best_fit(NS, rounds, candidates=["1", "sqrt"])
+        assert fit.name in ("1", "sqrt")
+
+    def test_needs_three_points(self):
+        with pytest.raises(ValueError):
+            best_fit([4, 8], [1, 2])
+
+    def test_fits_sorted_by_rmse(self):
+        rounds = [GROWTH_FUNCTIONS["log"](n) for n in NS]
+        fits = fit_growth(NS, rounds)
+        rmses = [f.rmse for f in fits]
+        assert rmses == sorted(rmses)
+
+    def test_negative_slope_clamped(self):
+        rounds = [100.0 - GROWTH_FUNCTIONS["log"](n) for n in NS]
+        for fit in fit_growth(NS, rounds):
+            assert fit.scale >= 0
+
+    @given(st.floats(0.5, 10), st.floats(0, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_log_vs_loglog_separation(self, a, b):
+        rounds = [a * GROWTH_FUNCTIONS["log"](n) + b for n in NS]
+        assert best_fit(NS, rounds).name == "log"
+
+
+class TestRatioSeries:
+    def test_ratio_grows_for_log_over_loglog(self):
+        det = [GROWTH_FUNCTIONS["log"](n) for n in NS]
+        rand = [GROWTH_FUNCTIONS["loglog"](n) for n in NS]
+        series = ratio_series(NS, det, rand)
+        ratios = [r for _n, r in series]
+        assert all(b > a for a, b in zip(ratios, ratios[1:]))
+
+
+class TestRenderTable:
+    def test_alignment_and_title(self):
+        out = render_table(
+            ["name", "value"], [["a", 1], ["bb", 22.5]], title="T"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert lines[2].startswith("----")
+        assert "22.50" in out
+
+
+class TestRunSweep:
+    def test_sweep_reports_points(self):
+        solver = RandomizedSinklessSolver()
+        sweep = run_sweep(solver, cubic_instance, [16, 32], seeds=(0, 1))
+        assert len(sweep.points) == 2
+        assert sweep.points[0].trials == 2
+        assert sweep.points[0].rounds_max >= sweep.points[0].rounds_mean
+
+    def test_sweep_verify_hook_runs(self):
+        calls = []
+
+        def check(instance, result):
+            calls.append(instance.graph.num_nodes)
+
+        solver = RandomizedSinklessSolver()
+        run_sweep(solver, cubic_instance, [16], seeds=(0, 1, 2), verify=check)
+        assert len(calls) == 3
+
+    def test_sweep_verify_hook_can_fail(self):
+        def bad(instance, result):
+            raise AssertionError("nope")
+
+        solver = RandomizedSinklessSolver()
+        with pytest.raises(AssertionError):
+            run_sweep(solver, cubic_instance, [16], seeds=(0,), verify=bad)

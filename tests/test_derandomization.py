@@ -1,0 +1,85 @@
+"""Tests for the Discussion-section derandomization calculator."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.derandomization import (
+    classify_gap,
+    ghk_deterministic_upper,
+    implied_nd_lower_bound,
+    panconesi_srinivasan_nd,
+)
+from repro.core.theory import deterministic_prediction, randomized_prediction
+
+
+class TestBounds:
+    def test_ps_bound_grows_subpolynomially(self):
+        for n in (2**10, 2**20, 2**40):
+            nd = panconesi_srinivasan_nd(n)
+            assert nd < n**0.5
+        # superlogarithmic once sqrt(log n) beats (loglog n)^2
+        assert panconesi_srinivasan_nd(2**64) > math.log2(2**64)
+
+    def test_ghk_upper_dominates_rand(self):
+        assert ghk_deterministic_upper(10, 2**20) >= 10
+
+    def test_ghk_with_explicit_nd(self):
+        value = ghk_deterministic_upper(5, 2**16, nd_rounds=100)
+        assert value == 5 * 100 + 5 * 16**2
+
+
+class TestImpliedNd:
+    def test_paper_family_implies_nothing(self):
+        """Pi_i gaps are Theta(log/loglog): far below the log^2 bar."""
+        for level in (1, 2, 3):
+            n = 2**20
+            det = deterministic_prediction(level, n)
+            rand = randomized_prediction(level, n)
+            assert implied_nd_lower_bound(det, rand, n) < 0
+
+    def test_huge_gap_would_imply_bound(self):
+        n = 2**20
+        bound = implied_nd_lower_bound(10**6, 1, n)
+        assert bound > 0
+
+    def test_rejects_zero_rand(self):
+        with pytest.raises(ValueError):
+            implied_nd_lower_bound(5, 0, 100)
+
+
+class TestClassification:
+    def test_no_gap(self):
+        assert classify_gap(10, 10, 2**16).kind == "none"
+
+    def test_paper_regime_is_subexponential(self):
+        n = 2**20
+        result = classify_gap(
+            deterministic_prediction(2, n), randomized_prediction(2, n), n
+        )
+        assert result.kind == "subexponential"
+        assert not result.implies_nd_bound()
+
+    def test_sinkless_regime_is_exponential_scale(self):
+        n = 2**64
+        det = math.log2(n)
+        rand = math.log2(math.log2(n))
+        result = classify_gap(det * 10**6, rand, n)
+        assert result.kind in ("superlog2", "exponential-scale")
+        assert result.implies_nd_bound()
+
+    @given(st.integers(4, 2**30), st.floats(1, 1e6), st.floats(1, 1e6))
+    @settings(max_examples=50, deadline=None)
+    def test_classification_total(self, n, det, rand):
+        result = classify_gap(det, rand, n)
+        assert result.kind in (
+            "none",
+            "subexponential",
+            "superlog2",
+            "exponential-scale",
+        )
+        assert result.ratio == pytest.approx(det / rand)

@@ -1,0 +1,41 @@
+"""Smoke tests: the runnable examples must stay runnable."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+_EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "padded_lcl_demo.py",
+    "error_proofs_demo.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, os.path.join(_EXAMPLES, script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip()
+
+
+def test_examples_exist():
+    present = set(os.listdir(_EXAMPLES))
+    expected = {
+        "quickstart.py",
+        "sinkless_orientation_demo.py",
+        "padded_lcl_demo.py",
+        "error_proofs_demo.py",
+        "complexity_landscape_mini.py",
+    }
+    assert expected <= present

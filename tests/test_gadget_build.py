@@ -1,0 +1,152 @@
+"""Tests for gadget construction (Figures 5 and 6) and Definition 2 shape."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gadgets import (
+    CENTER,
+    Down,
+    GadgetScope,
+    Index,
+    LCHILD,
+    LogGadgetFamily,
+    NOPORT,
+    PARENT,
+    Port,
+    RCHILD,
+    RIGHT,
+    UP,
+    build_gadget,
+    gadget_size,
+    subgadget_size,
+)
+from repro.local import bfs_distances, diameter
+
+
+class TestSizes:
+    def test_subgadget_size_formula(self):
+        assert subgadget_size(2) == 3
+        assert subgadget_size(5) == 31
+
+    def test_gadget_size_formula(self):
+        assert gadget_size(3, 4) == 3 * 15 + 1
+        assert gadget_size(2, (2, 5)) == 3 + 31 + 1
+
+    @pytest.mark.parametrize("delta,height", [(1, 2), (2, 3), (3, 4), (4, 2), (3, 6)])
+    def test_built_size_matches(self, delta, height):
+        built = build_gadget(delta, height)
+        assert built.num_nodes == gadget_size(delta, height)
+        assert built.graph.num_nodes == len(built.coords)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            build_gadget(0, 3)
+        with pytest.raises(ValueError):
+            build_gadget(2, 1)
+        with pytest.raises(ValueError):
+            build_gadget(2, (3,))
+
+
+class TestStructure:
+    def test_ports_are_bottom_right_corners(self):
+        built = build_gadget(3, 4)
+        for i, port_node in enumerate(built.ports, start=1):
+            assert built.inputs.node(port_node).port == Port(i)
+            assert built.coords[port_node] == ("sub", i, 3, 7)
+
+    def test_center_labels(self):
+        built = build_gadget(3, 3)
+        node = built.inputs.node(built.center)
+        assert node.role == CENTER
+        assert node.port == NOPORT
+        down_labels = {
+            built.half_label(built.center, p)
+            for p in range(built.graph.degree(built.center))
+        }
+        assert down_labels == {Down(1), Down(2), Down(3)}
+
+    def test_roots_point_up(self):
+        built = build_gadget(2, 3)
+        scope = GadgetScope(built.graph, built.inputs)
+        for i in (1, 2):
+            root = next(
+                v for v, c in built.coords.items() if c == ("sub", i, 0, 0)
+            )
+            assert scope.follow(root, UP) == built.center
+            assert scope.follow(built.center, Down(i)) == root
+
+    def test_tree_and_level_edges(self):
+        built = build_gadget(1, 4)
+        scope = GadgetScope(built.graph, built.inputs)
+        node_of = {c: v for v, c in built.coords.items()}
+        # parent pointers
+        child = node_of[("sub", 1, 2, 3)]
+        parent = node_of[("sub", 1, 1, 1)]
+        assert scope.follow(child, PARENT) == parent
+        assert scope.follow(parent, RCHILD) == child
+        # level paths
+        a = node_of[("sub", 1, 2, 1)]
+        b = node_of[("sub", 1, 2, 2)]
+        assert scope.follow(a, RIGHT) == b
+        # commuting square of constraint 2c
+        u = node_of[("sub", 1, 1, 0)]
+        lchild = scope.follow(u, LCHILD)
+        right = scope.follow(lchild, RIGHT)
+        assert scope.follow(right, PARENT) == u
+
+    def test_distance2_coloring_is_proper(self):
+        built = build_gadget(3, 4)
+        graph, inputs = built.graph, built.inputs
+        for v in graph.nodes():
+            neighborhood = set()
+            for u in graph.neighbors(v):
+                neighborhood.add(u)
+                neighborhood.update(graph.neighbors(u))
+            neighborhood.discard(v)
+            mine = inputs.node(v).color
+            assert all(inputs.node(u).color != mine for u in neighborhood)
+
+    def test_half_edges_replicate_colors(self):
+        built = build_gadget(2, 3)
+        for v in built.graph.nodes():
+            color = built.inputs.node(v).color
+            for p in range(built.graph.degree(v)):
+                assert built.inputs.half_at(v, p).color == color
+
+    def test_mixed_heights(self):
+        built = build_gadget(3, (2, 4, 3))
+        assert built.num_nodes == 3 + 15 + 7 + 1
+        assert built.inputs.node(built.ports[1]).port == Port(2)
+
+
+class TestDefinition2Metrics:
+    """The (n, D)-gadget and (d, Delta)-family properties."""
+
+    @pytest.mark.parametrize("delta,height", [(2, 3), (3, 4), (3, 5)])
+    def test_port_distances_are_2h(self, delta, height):
+        built = build_gadget(delta, height)
+        family = LogGadgetFamily(delta)
+        for i in range(delta):
+            dist = bfs_distances(built.graph, built.ports[i])
+            for j in range(delta):
+                if i != j:
+                    assert dist[built.ports[j]] == family.port_distance(height)
+
+    def test_diameter_logarithmic(self):
+        family = LogGadgetFamily(3)
+        for n in (30, 100, 400, 1500):
+            built = family.member(n)
+            assert diameter(built.graph) <= family.depth_bound(built.num_nodes)
+
+    def test_member_size_theta_n(self):
+        family = LogGadgetFamily(3)
+        for n in (25, 60, 200, 900, 5000):
+            built = family.member(n)
+            assert n / 4 <= built.num_nodes <= 2 * n + 4
+
+    def test_min_size(self):
+        family = LogGadgetFamily(2)
+        assert family.min_size() == gadget_size(2, 2)
+        member = family.member(1)
+        assert member.num_nodes == family.min_size()

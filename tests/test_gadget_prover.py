@@ -1,0 +1,185 @@
+"""Tests for the prover V (Section 4.5, Lemma 10) and the Psi LCL
+(Section 4.4, Lemma 9)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gadgets import (
+    ERROR,
+    GADOK,
+    GadgetScope,
+    LogGadgetFamily,
+    Pointer,
+    all_corruptions,
+    build_gadget,
+    error_radius,
+    run_prover,
+    verify_psi,
+)
+from repro.gadgets.labels import Down, LEFT, PARENT, RCHILD, RIGHT, UP
+from repro.util.logmath import ceil_log2
+
+
+def _run(graph, inputs, delta, n_hint=None):
+    scope = GadgetScope(graph, inputs)
+    component = sorted(graph.nodes())
+    return scope, component, run_prover(
+        scope, component, delta, n_hint or graph.num_nodes
+    )
+
+
+class TestValidGadgets:
+    @pytest.mark.parametrize("delta,heights", [(1, 3), (2, 2), (3, 4), (2, (3, 5))])
+    def test_all_ok(self, delta, heights):
+        built = build_gadget(delta, heights)
+        scope, component, result = _run(built.graph, built.inputs, delta)
+        assert result.is_valid
+        assert result.all_ok()
+        assert verify_psi(scope, component, result.outputs, delta) == []
+
+    def test_radius_is_logarithmic(self):
+        family = LogGadgetFamily(3)
+        for height in (3, 5, 7, 9):
+            built = family.member_with_height(height)
+            _, _, result = _run(built.graph, built.inputs, 3)
+            used = max(result.node_radius.values())
+            assert used <= error_radius(built.num_nodes)
+            assert used <= 4 * ceil_log2(built.num_nodes) + 8
+
+    def test_radius_grows_with_height(self):
+        family = LogGadgetFamily(2)
+        r = []
+        for height in (3, 6, 9):
+            built = family.member_with_height(height)
+            _, _, result = _run(built.graph, built.inputs, 2)
+            r.append(max(result.node_radius.values()))
+        assert r[0] < r[1] < r[2]
+
+
+class TestCorruptedGadgets:
+    @pytest.mark.parametrize("heights", [4, (3, 5, 4)])
+    def test_proof_of_error_is_psi_consistent(self, heights):
+        built = build_gadget(3, heights)
+        for corruption in all_corruptions(built, random.Random(2)):
+            scope, component, result = _run(corruption.graph, corruption.inputs, 3)
+            assert not result.is_valid, corruption.name
+            # Definition 2: on invalid gadgets V uses only error labels
+            assert result.error_only(), corruption.name
+            violations = verify_psi(scope, component, result.outputs, 3)
+            assert violations == [], (
+                corruption.name,
+                [str(v) for v in violations[:5]],
+            )
+
+    def test_error_nodes_marked_error(self):
+        built = build_gadget(2, 3)
+        corruption = all_corruptions(built, random.Random(3))[0]
+        scope, component, result = _run(corruption.graph, corruption.inputs, 2)
+        flagged = {v.node for v in result.violations}
+        for v in flagged:
+            assert result.outputs[v] == ERROR
+        for v in component:
+            if v not in flagged:
+                assert isinstance(result.outputs[v], Pointer)
+
+    def test_pointer_chains_reach_errors(self):
+        """Follow every pointer chain; it must terminate at an Error node."""
+        built = build_gadget(3, 4)
+        for corruption in all_corruptions(built, random.Random(4)):
+            scope, component, result = _run(corruption.graph, corruption.inputs, 3)
+            for start in component:
+                label = result.outputs[start]
+                node = start
+                steps = 0
+                while isinstance(label, Pointer):
+                    node = scope.follow(node, label.kind)
+                    assert node is not None, corruption.name
+                    label = result.outputs[node]
+                    steps += 1
+                    assert steps <= len(component), "pointer cycle detected"
+                assert label == ERROR, corruption.name
+
+
+class TestLemma9NoCheating:
+    """On a valid gadget, no error labeling satisfies Psi."""
+
+    def test_all_error_rejected(self):
+        built = build_gadget(2, 3)
+        scope = GadgetScope(built.graph, built.inputs)
+        component = sorted(built.graph.nodes())
+        outputs = {v: ERROR for v in component}
+        assert verify_psi(scope, component, outputs, 2)
+
+    def test_all_parent_pointers_rejected(self):
+        built = build_gadget(2, 3)
+        scope = GadgetScope(built.graph, built.inputs)
+        component = sorted(built.graph.nodes())
+        outputs = {}
+        for v in component:
+            if scope.follow(v, PARENT) is not None:
+                outputs[v] = Pointer(PARENT)
+            elif scope.follow(v, UP) is not None:
+                outputs[v] = Pointer(UP)
+            else:
+                outputs[v] = Pointer(Down(1))
+        assert verify_psi(scope, component, outputs, 2)
+
+    @given(st.integers(0, 10**9))
+    @settings(max_examples=60, deadline=None)
+    def test_random_error_labelings_rejected(self, seed):
+        rng = random.Random(seed)
+        built = build_gadget(2, 3)
+        scope = GadgetScope(built.graph, built.inputs)
+        component = sorted(built.graph.nodes())
+        pool = [
+            ERROR,
+            Pointer(RIGHT),
+            Pointer(LEFT),
+            Pointer(PARENT),
+            Pointer(RCHILD),
+            Pointer(UP),
+            Pointer(Down(1)),
+            Pointer(Down(2)),
+        ]
+        outputs = {v: rng.choice(pool) for v in component}
+        assert verify_psi(scope, component, outputs, 2), (
+            "an adversarial error labeling was accepted on a valid gadget"
+        )
+
+    @given(st.integers(0, 10**9))
+    @settings(max_examples=40, deadline=None)
+    def test_single_liar_rejected(self, seed):
+        """All-Ok except one node claiming an error is also rejected."""
+        rng = random.Random(seed)
+        built = build_gadget(2, 4)
+        scope = GadgetScope(built.graph, built.inputs)
+        component = sorted(built.graph.nodes())
+        outputs = {v: GADOK for v in component}
+        liar = rng.choice(component)
+        outputs[liar] = rng.choice(
+            [ERROR, Pointer(RIGHT), Pointer(LEFT), Pointer(PARENT)]
+        )
+        assert verify_psi(scope, component, outputs, 2)
+
+    def test_ok_everywhere_accepted(self):
+        built = build_gadget(2, 4)
+        scope = GadgetScope(built.graph, built.inputs)
+        component = sorted(built.graph.nodes())
+        outputs = {v: GADOK for v in component}
+        assert verify_psi(scope, component, outputs, 2) == []
+
+
+class TestPsiOnCorrupted:
+    def test_silence_rejected_on_corruption(self):
+        """Claiming GadOk everywhere on a broken gadget violates Psi."""
+        built = build_gadget(3, 4)
+        for corruption in all_corruptions(built, random.Random(5)):
+            scope = GadgetScope(corruption.graph, corruption.inputs)
+            component = sorted(corruption.graph.nodes())
+            outputs = {v: GADOK for v in component}
+            assert verify_psi(scope, component, outputs, 3), corruption.name

@@ -1,0 +1,69 @@
+"""Tests for the instance generators (regular graphs, girth surgery)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.generators import (
+    configuration_model,
+    cubic_instance,
+    lift_girth,
+    padded_hard_instance,
+    random_regular,
+)
+from repro.local import girth
+
+
+class TestRegularGraphs:
+    @pytest.mark.parametrize("n,d", [(10, 3), (20, 4), (16, 3)])
+    def test_random_regular_degrees(self, n, d):
+        graph = random_regular(n, d, random.Random(0))
+        assert all(graph.degree(v) == d for v in graph.nodes())
+        assert graph.is_simple()
+
+    def test_odd_product_rejected(self):
+        with pytest.raises(ValueError):
+            configuration_model(5, 3, random.Random(0))
+
+    def test_configuration_model_allows_multigraph(self):
+        graph = configuration_model(4, 3, random.Random(2))
+        assert all(graph.degree(v) == 3 for v in graph.nodes())
+
+    def test_lift_girth_removes_short_cycles(self):
+        rng = random.Random(4)
+        graph = random_regular(64, 3, rng)
+        lifted = lift_girth(graph, 6, rng)
+        assert girth(lifted) >= 6
+        assert all(lifted.degree(v) == 3 for v in lifted.nodes())
+
+    def test_lift_girth_noop_when_already_high(self):
+        from repro.generators import cycle
+
+        graph = cycle(12)
+        lifted = lift_girth(graph, 5, random.Random(0))
+        assert girth(lifted) == 12
+
+
+class TestInstanceFactories:
+    def test_cubic_instance_shape(self):
+        instance = cubic_instance(33, seed=1)  # odd n rounds up
+        assert instance.graph.num_nodes == 34
+        assert instance.graph.max_degree == 3
+        assert instance.rng is not None
+
+    def test_cubic_instance_seeded(self):
+        a = cubic_instance(32, seed=5)
+        b = cubic_instance(32, seed=5)
+        assert [a.ids.of(v) for v in a.graph.nodes()] == [
+            b.ids.of(v) for v in b.graph.nodes()
+        ]
+
+    def test_padded_hard_instance_level1_passthrough(self):
+        from repro.core import build_family
+
+        pi1 = build_family(1)[0]
+        instance = padded_hard_instance(pi1, 64, 0)
+        assert instance.graph.num_nodes == 64
+        assert instance.inputs is None

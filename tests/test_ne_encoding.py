@@ -1,0 +1,213 @@
+"""Tests for the Section 4.6 node-edge lowering (Figures 7 and 8)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.gadgets import (
+    ERROR,
+    GADOK,
+    GadgetScope,
+    build_gadget,
+    corrupt,
+    run_prover,
+)
+from repro.gadgets.ne_encoding import (
+    CHAIN_SPECS,
+    ChainToken,
+    NeHalfOutput,
+    NeNodeOutput,
+    compile_ne_proof,
+    verify_ne_proof,
+)
+from repro.gadgets.labels import LCHILD, RIGHT
+
+
+def _prove_and_compile(graph, inputs, delta=3):
+    scope = GadgetScope(graph, inputs)
+    component = sorted(graph.nodes())
+    prover = run_prover(scope, component, delta, graph.num_nodes)
+    node_out, half_out = compile_ne_proof(scope, component, prover.outputs)
+    return scope, component, prover, node_out, half_out
+
+
+class TestCompileOnValidGadget:
+    def test_all_gadok_and_accepted(self):
+        built = build_gadget(3, 4)
+        scope, component, prover, node_out, half_out = _prove_and_compile(
+            built.graph, built.inputs
+        )
+        assert prover.all_ok()
+        assert all(out.psi == GADOK for out in node_out.values())
+        assert all(out.tokens == frozenset() for out in node_out.values())
+        assert verify_ne_proof(scope, component, node_out, half_out) == []
+
+    def test_summaries_replicated(self):
+        built = build_gadget(2, 3)
+        _scope, component, _prover, node_out, half_out = _prove_and_compile(
+            built.graph, built.inputs, delta=2
+        )
+        for (v, _port), half in half_out.items():
+            assert half.summary == node_out[v].summary
+
+
+class TestCorruptedProofsAccepted:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "wrong-index",
+            "fake-port",
+            "missing-port",
+            "color-clash",
+            "swapped-children",
+            "dropped-horizontal",
+            "detached-subgadget",
+        ],
+    )
+    def test_each_proof_ne_consistent(self, name):
+        built = build_gadget(3, 4)
+        corruption = corrupt(built, name)
+        scope, component, prover, node_out, half_out = _prove_and_compile(
+            corruption.graph, corruption.inputs
+        )
+        assert not prover.is_valid
+        violations = verify_ne_proof(scope, component, node_out, half_out)
+        assert violations == [], [str(v) for v in violations[:5]]
+
+    def test_color_clash_emits_figure7_witness(self):
+        built = build_gadget(3, 4)
+        corruption = corrupt(built, "color-clash")
+        _scope, _component, _prover, node_out, half_out = _prove_and_compile(
+            corruption.graph, corruption.inputs
+        )
+        witnesses = [v for v, out in node_out.items() if out.dup_color is not None]
+        assert witnesses
+        marks = [h for h in half_out.values() if h.dup_mark is not None]
+        assert len(marks) == 2 * len(witnesses)
+
+    def test_swapped_children_emits_figure8_chain(self):
+        built = build_gadget(3, 4)
+        corruption = corrupt(built, "swapped-children")
+        _scope, _component, _prover, node_out, _half_out = _prove_and_compile(
+            corruption.graph, corruption.inputs
+        )
+        tokens = set().union(*(out.tokens for out in node_out.values()))
+        assert any(t.chain in CHAIN_SPECS for t in tokens)
+
+
+class TestNoFabrication:
+    """Witnesses cannot be forged on valid structure."""
+
+    def test_fake_dup_color_rejected(self):
+        built = build_gadget(2, 3)
+        scope, component, _prover, node_out, half_out = _prove_and_compile(
+            built.graph, built.inputs, delta=2
+        )
+        liar = built.ports[0]
+        out = node_out[liar]
+        color = scope.color(scope.graph.neighbor(liar, 0))
+        node_out[liar] = NeNodeOutput(out.psi, out.summary, out.tokens, color)
+        # mark two halves with that color
+        ports = [p for p in range(built.graph.degree(liar))][:2]
+        for p in ports:
+            half = half_out[(liar, p)]
+            half_out[(liar, p)] = NeHalfOutput(
+                half.psi, half.summary, half.tokens, color
+            )
+        violations = verify_ne_proof(scope, component, node_out, half_out)
+        assert violations  # the second mark's far color cannot match too
+
+    def test_fake_chain_rejected(self):
+        built = build_gadget(2, 4)
+        scope, component, _prover, node_out, half_out = _prove_and_compile(
+            built.graph, built.inputs, delta=2
+        )
+        # plant a 2d chain start at an interior node of the valid gadget
+        start = next(
+            v
+            for v in component
+            if scope.follow(v, RIGHT) is not None
+            and scope.follow(v, LCHILD) is not None
+        )
+        token = ChainToken("2d", 99, 0)
+
+        def with_token(v, extra):
+            out = node_out[v]
+            node_out[v] = NeNodeOutput(
+                out.psi, out.summary, out.tokens | {extra}, out.dup_color
+            )
+            for p in range(built.graph.degree(v)):
+                if (v, p) in half_out:
+                    h = half_out[(v, p)]
+                    half_out[(v, p)] = NeHalfOutput(
+                        h.psi, h.summary, h.tokens | {extra}, h.dup_mark
+                    )
+
+        with_token(start, token)
+        violations = verify_ne_proof(scope, component, node_out, half_out)
+        assert violations  # the chain must continue but closes on start
+
+    def test_complete_fake_chain_closes_and_rejected(self):
+        """Even laying out the full chain on a valid gadget fails: the
+        path returns to the start, which then holds A and the last
+        letter simultaneously."""
+        built = build_gadget(2, 4)
+        scope, component, _prover, node_out, half_out = _prove_and_compile(
+            built.graph, built.inputs, delta=2
+        )
+        start = next(
+            v
+            for v in component
+            if scope.follow(v, LCHILD) is not None
+        )
+        # walk the 2c path, which in a valid gadget returns to start
+        path = [start]
+        node = start
+        for label in CHAIN_SPECS["2c"]:
+            node = scope.follow(node, label)
+            assert node is not None
+            path.append(node)
+        assert path[-1] == start
+
+        def add(v, token):
+            out = node_out[v]
+            node_out[v] = NeNodeOutput(
+                out.psi, out.summary, out.tokens | {token}, out.dup_color
+            )
+            for p in range(built.graph.degree(v)):
+                if (v, p) in half_out:
+                    h = half_out[(v, p)]
+                    half_out[(v, p)] = NeHalfOutput(
+                        h.psi, h.summary, h.tokens | {token}, h.dup_mark
+                    )
+
+        for letter, v in enumerate(path):
+            add(v, ChainToken("2c", 5, letter))
+        violations = verify_ne_proof(scope, component, node_out, half_out)
+        assert any("closes on itself" in str(v) for v in violations)
+
+
+class TestTamperDetection:
+    def test_broken_replication_detected(self):
+        built = build_gadget(2, 3)
+        scope, component, _prover, node_out, half_out = _prove_and_compile(
+            built.graph, built.inputs, delta=2
+        )
+        victim = built.center
+        half = half_out[(victim, 0)]
+        half_out[(victim, 0)] = NeHalfOutput(
+            ERROR, half.summary, half.tokens, half.dup_mark
+        )
+        violations = verify_ne_proof(scope, component, node_out, half_out)
+        assert any("replicate" in str(v) for v in violations)
+
+    def test_missing_half_detected(self):
+        built = build_gadget(2, 3)
+        scope, component, _prover, node_out, half_out = _prove_and_compile(
+            built.graph, built.inputs, delta=2
+        )
+        del half_out[(built.center, 0)]
+        violations = verify_ne_proof(scope, component, node_out, half_out)
+        assert any("missing half" in str(v) for v in violations)

@@ -1,0 +1,245 @@
+"""End-to-end tests: the Lemma 4 solver against the Pi' verifier."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import (
+    PaddedProblem,
+    PaddedSolver,
+    build_family,
+    hard_instance,
+    pad_graph,
+)
+from repro.core.hard_instances import _lifted_ids
+from repro.gadgets import LogGadgetFamily, build_gadget
+from repro.generators import complete, cycle, path, random_regular
+from repro.lcl import Labeling
+from repro.local import Instance, PortGraph
+from repro.local.identifiers import sequential_ids
+from repro.problems import (
+    DeterministicSinklessSolver,
+    RandomizedSinklessSolver,
+    SinklessOrientation,
+)
+from repro.util.rng import NodeRng
+
+
+def _pi2(delta=3):
+    family = LogGadgetFamily(delta)
+    problem = PaddedProblem(SinklessOrientation().problem(), family)
+    return family, problem
+
+
+def _padded_instance(base, delta=3, height=3, seed=None):
+    gadgets = [build_gadget(delta, height) for _ in base.nodes()]
+    padded = pad_graph(base, gadgets)
+    rng = NodeRng(seed) if seed is not None else None
+    return padded, Instance(
+        padded.graph,
+        sequential_ids(padded.graph.num_nodes),
+        padded.inputs,
+        None,
+        rng,
+    )
+
+
+class TestPi2Deterministic:
+    @pytest.mark.parametrize(
+        "base_factory",
+        [
+            lambda: complete(4),
+            lambda: cycle(5),
+            lambda: path(4),
+            lambda: random_regular(12, 3, random.Random(0)),
+        ],
+    )
+    def test_solver_output_verifies(self, base_factory):
+        base = base_factory()
+        family, problem = _pi2()
+        padded, instance = _padded_instance(base)
+        solver = PaddedSolver(problem, DeterministicSinklessSolver())
+        result = solver.solve(instance)
+        verdict = problem.verify(padded.graph, padded.inputs, result.outputs)
+        assert verdict.ok, verdict.summary()
+        assert result.extras["invalid_gadgets"] == 0
+        assert result.extras["virtual_nodes"] == base.num_nodes
+
+    def test_rounds_scale_with_gadget_height(self):
+        base = complete(4)
+        family, problem = _pi2()
+        rounds = []
+        for height in (2, 4, 6):
+            padded, instance = _padded_instance(base, height=height)
+            solver = PaddedSolver(problem, DeterministicSinklessSolver())
+            rounds.append(solver.solve(instance).rounds)
+        assert rounds[0] < rounds[1] < rounds[2]
+
+    def test_deterministic_reproducible(self):
+        base = cycle(4)
+        family, problem = _pi2()
+        padded, instance = _padded_instance(base)
+        solver = PaddedSolver(problem, DeterministicSinklessSolver())
+        a = solver.solve(instance)
+        b = solver.solve(instance)
+        assert a.outputs == b.outputs
+
+
+class TestPi2Randomized:
+    def test_solver_output_verifies(self):
+        base = random_regular(10, 3, random.Random(3))
+        family, problem = _pi2()
+        padded, instance = _padded_instance(base, seed=11)
+        solver = PaddedSolver(problem, RandomizedSinklessSolver())
+        result = solver.solve(instance)
+        verdict = problem.verify(padded.graph, padded.inputs, result.outputs)
+        assert verdict.ok, verdict.summary()
+
+    def test_randomized_cheaper_than_deterministic(self):
+        base = random_regular(64, 3, random.Random(5))
+        family, problem = _pi2()
+        padded, instance = _padded_instance(base, height=4, seed=1)
+        det = PaddedSolver(problem, DeterministicSinklessSolver()).solve(instance)
+        rand = PaddedSolver(problem, RandomizedSinklessSolver()).solve(instance)
+        assert rand.extras["base_rounds"] <= det.extras["base_rounds"]
+
+
+class TestAdversarialInputs:
+    def test_corrupted_gadget_still_solvable(self):
+        """Pi' instances with an invalid gadget must still be solved:
+        the invalid gadget proves its error, neighbors mark PortErr1."""
+        from repro.core import PaddedInput
+        from repro.gadgets.labels import GadgetNodeInput, NOPORT
+
+        base = path(3)
+        gadgets = [build_gadget(3, 3) for _ in base.nodes()]
+        padded = pad_graph(base, gadgets)
+        inputs = padded.inputs.copy()
+        victim = padded.padded_node(1, gadgets[1].ports[0])
+        old = inputs.node(victim)
+        inputs.set_node(
+            victim,
+            PaddedInput(
+                old.pi,
+                GadgetNodeInput(old.gadget.role, NOPORT, old.gadget.color),
+            ),
+        )
+        family, problem = _pi2()
+        instance = Instance(
+            padded.graph, sequential_ids(padded.graph.num_nodes), inputs
+        )
+        solver = PaddedSolver(problem, DeterministicSinklessSolver())
+        result = solver.solve(instance)
+        assert result.extras["invalid_gadgets"] == 1
+        verdict = problem.verify(padded.graph, inputs, result.outputs)
+        assert verdict.ok, verdict.summary()
+
+    def test_garbage_graph_solvable(self):
+        """A graph with no gadget structure at all: everything is an
+        invalid gadget, the whole output is a proof of error."""
+        graph = complete(5)
+        family, problem = _pi2()
+        instance = Instance(graph, sequential_ids(5), Labeling(graph))
+        solver = PaddedSolver(problem, DeterministicSinklessSolver())
+        result = solver.solve(instance)
+        verdict = problem.verify(graph, instance.inputs, result.outputs)
+        assert verdict.ok, verdict.summary()
+        assert result.extras["virtual_nodes"] == 0
+
+    def test_verifier_rejects_tampering(self):
+        base = complete(4)
+        family, problem = _pi2()
+        padded, instance = _padded_instance(base)
+        solver = PaddedSolver(problem, DeterministicSinklessSolver())
+        result = solver.solve(instance)
+        # flip one virtual orientation bit: o_b of some valid port
+        from repro.core import PaddedOutput
+
+        tampered = result.outputs.copy()
+        victim = None
+        for v in padded.graph.nodes():
+            out = tampered.node(v)
+            pad = out.list
+            if pad.ports:
+                i = min(pad.ports)
+                o_b = list(pad.o_b)
+                o_b[i - 1] = "out" if o_b[i - 1] == "in" else "in"
+                new_pad = pad._replace(o_b=tuple(o_b))
+                tampered.set_node(v, PaddedOutput(new_pad, out.port_err, out.psi))
+                victim = v
+                break
+        assert victim is not None
+        verdict = problem.verify(padded.graph, padded.inputs, tampered)
+        assert not verdict.ok
+
+    def test_verifier_rejects_false_gadok(self):
+        """Claiming GadOk inside a corrupted gadget must fail."""
+        from repro.core import PaddedInput
+        from repro.gadgets.labels import GadgetNodeInput, NOPORT
+
+        base = path(2)
+        gadgets = [build_gadget(2, 2), build_gadget(2, 2)]
+        padded = pad_graph(base, gadgets)
+        inputs = padded.inputs.copy()
+        victim = padded.padded_node(1, gadgets[1].ports[0])
+        old = inputs.node(victim)
+        inputs.set_node(
+            victim,
+            PaddedInput(
+                old.pi,
+                GadgetNodeInput(old.gadget.role, NOPORT, old.gadget.color),
+            ),
+        )
+        family, problem = _pi2(delta=2)
+        instance = Instance(
+            padded.graph, sequential_ids(padded.graph.num_nodes), inputs
+        )
+        solver = PaddedSolver(problem, DeterministicSinklessSolver())
+        honest = solver.solve(instance)
+        from repro.core import PaddedOutput
+        from repro.gadgets import GADOK
+
+        lying = honest.outputs.copy()
+        for v in padded.gadget_nodes(1):
+            out = lying.node(v)
+            lying.set_node(v, PaddedOutput(out.list, out.port_err, GADOK))
+            for port in range(padded.graph.degree(v)):
+                from repro.local import HalfEdge
+
+                side = HalfEdge(v, port)
+                if lying.half(side) is not None and lying.half(side) != "BLANK":
+                    pass
+        verdict = problem.verify(padded.graph, inputs, lying)
+        assert not verdict.ok
+
+
+class TestPi3Recursion:
+    def test_pi3_solves_and_verifies(self):
+        levels = build_family(3, delta=3)
+        pi2, pi3 = levels[1], levels[2]
+        # build a doubly padded instance by hand: pad a K4 twice
+        base = complete(4)
+        inner = hard_instance(base, pi2.family, 600)
+        inner_instance = Instance(
+            inner.graph,
+            _lifted_ids(sequential_ids(base.num_nodes), inner),
+            inner.inputs,
+            600,
+            NodeRng(3),
+        )
+        outer = hard_instance(inner.graph, pi3.family, 40_000, inner.inputs)
+        outer_instance = Instance(
+            outer.graph,
+            _lifted_ids(inner_instance.ids, outer),
+            outer.inputs,
+            40_000,
+            NodeRng(3),
+        )
+        for solver in (pi3.det_solver, pi3.rand_solver):
+            result = solver.solve(outer_instance)
+            verdict = pi3.verify(
+                outer.graph, outer.inputs, result.outputs
+            )
+            assert verdict.ok, verdict.summary()

@@ -1,0 +1,157 @@
+"""Tests for the view oracle, radius metering, and the synchronous engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.generators import cycle, path
+from repro.local import Instance, PortGraph, SyncEngine, ViewOracle
+from repro.local.identifiers import sequential_ids
+
+
+class TestViewOracle:
+    def test_view_contents_grow_with_radius(self):
+        graph = path(9)
+        oracle = ViewOracle(graph)
+        v0 = oracle.view(4, 0)
+        assert v0.nodes() == [4]
+        v2 = oracle.view(4, 2)
+        assert v2.nodes() == [2, 3, 4, 5, 6]
+        assert v2.boundary() == [2, 6]
+
+    def test_metering_tracks_max(self):
+        graph = cycle(10)
+        oracle = ViewOracle(graph)
+        oracle.view(0, 1)
+        oracle.view(0, 3)
+        oracle.view(0, 2)
+        assert oracle.radius_used(0) == 3
+        assert oracle.rounds() == 3
+
+    def test_charge_without_view(self):
+        graph = cycle(5)
+        oracle = ViewOracle(graph)
+        oracle.charge(2, 7)
+        assert oracle.radius_used(2) == 7
+        assert oracle.node_radii() == [0, 0, 7, 0, 0]
+
+    def test_charge_rejects_negative(self):
+        oracle = ViewOracle(cycle(3))
+        with pytest.raises(ValueError):
+            oracle.charge(0, -1)
+
+    def test_view_beyond_component_saturates(self):
+        graph = path(4)
+        oracle = ViewOracle(graph)
+        view = oracle.view(0, 50)
+        assert view.nodes() == [0, 1, 2, 3]
+
+    def test_incremental_growth_consistent_with_fresh(self):
+        graph = cycle(12)
+        grown = ViewOracle(graph)
+        for r in (1, 2, 5):
+            fresh = ViewOracle(graph).view(3, r)
+            incremental = grown.view(3, r)
+            assert fresh.dist == incremental.dist
+
+    def test_subgraph_of_view(self):
+        graph = cycle(8)
+        oracle = ViewOracle(graph)
+        sub, mapping = oracle.view(0, 2).subgraph()
+        assert sub.num_nodes == 5
+        assert sub.num_edges == 4  # an arc of the cycle
+
+
+class _FloodNode:
+    """Counts rounds until it has heard from everyone (diameter probe)."""
+
+    def __init__(self, v: int, instance: Instance):
+        self.v = v
+        self.n = instance.graph.num_nodes
+        self.degree = instance.graph.degree(v)
+        self.heard = {v}
+        self.done_at: int | None = 0 if self.n == 1 else None
+
+    def outgoing(self, round_index):
+        if self.done_at is not None:
+            return None
+        return [frozenset(self.heard)] * self.degree
+
+    def receive(self, round_index, inbox):
+        for message in inbox:
+            if message:
+                self.heard |= message
+        if len(self.heard) == self.n:
+            self.done_at = round_index + 1
+
+    def result(self):
+        return self.done_at
+
+
+class TestSyncEngine:
+    def test_flooding_takes_eccentricity_rounds(self):
+        graph = cycle(10)
+        instance = Instance(graph, sequential_ids(10))
+        engine = SyncEngine(instance, _FloodNode)
+        result = engine.run()
+        # every node hears everyone after exactly ecc = 5 message rounds
+        assert result.rounds == 5
+        assert all(r == 5 for r in result.results)
+
+    def test_single_node_halts_immediately(self):
+        graph = PortGraph(1, [])
+        instance = Instance(graph, sequential_ids(1))
+        result = SyncEngine(instance, _FloodNode).run()
+        assert result.rounds == 0
+        assert result.results == [0]
+
+    def test_wrong_message_count_raises(self):
+        class BadNode(_FloodNode):
+            def outgoing(self, round_index):
+                return []  # wrong: must equal degree
+
+        graph = cycle(4)
+        instance = Instance(graph, sequential_ids(4))
+        with pytest.raises(ValueError):
+            SyncEngine(instance, BadNode).run()
+
+    def test_nonconvergence_raises(self):
+        class ForeverNode(_FloodNode):
+            def outgoing(self, round_index):
+                return [0] * self.degree
+
+        graph = cycle(4)
+        instance = Instance(graph, sequential_ids(4))
+        with pytest.raises(RuntimeError):
+            SyncEngine(instance, ForeverNode).run(max_rounds=10)
+
+    def test_node_radius_uniform(self):
+        graph = cycle(6)
+        instance = Instance(graph, sequential_ids(6))
+        result = SyncEngine(instance, _FloodNode).run()
+        assert result.node_radius() == [result.rounds] * 6
+
+
+class TestInstance:
+    def test_n_hint_defaults_to_size(self):
+        graph = cycle(5)
+        instance = Instance(graph, sequential_ids(5))
+        assert instance.n_hint == 5
+
+    def test_n_hint_must_cover_graph(self):
+        graph = cycle(5)
+        with pytest.raises(ValueError):
+            Instance(graph, sequential_ids(5), n_hint=4)
+
+    def test_id_size_mismatch(self):
+        graph = cycle(5)
+        with pytest.raises(ValueError):
+            Instance(graph, sequential_ids(4))
+
+    def test_require_rng(self):
+        graph = cycle(5)
+        instance = Instance(graph, sequential_ids(5))
+        with pytest.raises(ValueError):
+            instance.require_rng()
+        seeded = Instance.simple(graph, seed=7)
+        assert seeded.require_rng() is seeded.rng
