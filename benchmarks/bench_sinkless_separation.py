@@ -3,39 +3,47 @@
 Regenerates the deterministic Theta(log n) vs randomized
 Theta(log log n) series on random cubic instances and fits both
 against the growth dictionary.
+
+The series run on ``repro.engine``: both sweeps are declarative specs
+dispatched to a worker pool, so the trials of one size grid run
+concurrently instead of one at a time.  (No trial cache here — the
+bench must measure real solves every run; caching itself is exercised
+by ``bench_engine_scaling.py``.)
 """
 
 from __future__ import annotations
 
 from benchmarks.conftest import report
-from repro.analysis import best_fit, ratio_series, render_table, run_sweep
+from repro.analysis import best_fit, ratio_series, render_table
+from repro.engine import ExperimentSpec, run_experiment
 from repro.generators.hard import cubic_instance
-from repro.lcl import Labeling, verify
-from repro.problems import (
-    DeterministicSinklessSolver,
-    RandomizedSinklessSolver,
-    SinklessOrientation,
-)
+from repro.problems import DeterministicSinklessSolver, RandomizedSinklessSolver
 
-NS = [2**k for k in range(6, 14)]
+NS = tuple(2**k for k in range(6, 14))
 SEEDS = (0, 1)
-PROBLEM = SinklessOrientation().problem()
+WORKERS = 4
 
 
-def _verified(instance, result):
-    verdict = verify(
-        PROBLEM, instance.graph, Labeling(instance.graph), result.outputs
+def _spec(name: str, solver: str) -> ExperimentSpec:
+    return ExperimentSpec(
+        name=name,
+        solver=solver,
+        generator="repro.generators.hard:cubic_instance",
+        verifier="repro.engine.experiments:verify_sinkless",
+        ns=NS,
+        seeds=SEEDS,
     )
-    assert verdict.ok, verdict.summary()
 
 
 def test_sinkless_separation_series(benchmark):
-    det = run_sweep(
-        DeterministicSinklessSolver(), cubic_instance, NS, SEEDS, _verified
-    )
-    rand = run_sweep(
-        RandomizedSinklessSolver(), cubic_instance, NS, SEEDS, _verified
-    )
+    det = run_experiment(
+        _spec("sinkless/det", "repro.problems:DeterministicSinklessSolver"),
+        workers=WORKERS,
+    ).sweep
+    rand = run_experiment(
+        _spec("sinkless/rand", "repro.problems:RandomizedSinklessSolver"),
+        workers=WORKERS,
+    ).sweep
     det_fit = best_fit(det.ns(), det.means())
     rand_fit = best_fit(rand.ns(), rand.means())
     rows = [

@@ -3,7 +3,8 @@
 The padded solver's measured rounds should track
 ``base rounds x gadget depth``: padding multiplies the base problem's
 complexity by Theta(d(n)).  This bench measures the product structure
-directly (the solver reports both factors) across gadget heights, and
+directly across gadget heights — the height series is one declarative
+``repro.engine`` spec whose trial records carry both factors — and
 runs the Lemma 5 reduction once to confirm the transfer direction.
 """
 
@@ -13,53 +14,45 @@ import random
 
 from benchmarks.conftest import report
 from repro.analysis import render_table
-from repro.core import PaddedProblem, PaddedSolver, hard_instance, simulate_padded_algorithm
-from repro.core.hard_instances import _lifted_ids
-from repro.gadgets import LogGadgetFamily, build_gadget
-from repro.core.padding import pad_graph
+from repro.core import PaddedProblem, PaddedSolver, simulate_padded_algorithm
+from repro.engine import ExperimentSpec, run_experiment
+from repro.engine.experiments import padded_sinkless_instance
+from repro.gadgets import LogGadgetFamily
 from repro.generators import random_regular
 from repro.local import Instance
-from repro.local.identifiers import sequential_ids
 from repro.problems import DeterministicSinklessSolver, SinklessOrientation
-from repro.util.rng import NodeRng
 
 FAMILY = LogGadgetFamily(3)
 PROBLEM = PaddedProblem(SinklessOrientation().problem(), FAMILY)
 
+HEIGHTS = (2, 3, 4, 5, 6, 7)
 
-def _padded_instance(base, height):
-    gadgets = [build_gadget(3, height) for _ in base.nodes()]
-    padded = pad_graph(base, gadgets)
-    return padded, Instance(
-        padded.graph,
-        sequential_ids(padded.graph.num_nodes),
-        padded.inputs,
-        None,
-        NodeRng(0),
-    )
+SPEC = ExperimentSpec(
+    name="padding/multiplicative-overhead",
+    solver="repro.engine.experiments:padded_sinkless_solver",
+    generator="repro.engine.experiments:padded_sinkless_instance",
+    verifier="repro.engine.experiments:verify_padded_sinkless",
+    ns=HEIGHTS,
+    seeds=(0,),
+)
 
 
 def test_multiplicative_overhead(benchmark):
-    base = random_regular(16, 3, random.Random(2))
-    solver = PaddedSolver(PROBLEM, DeterministicSinklessSolver())
+    engine_report = run_experiment(SPEC, workers=4)
     rows = []
     overheads = []
-    for height in (2, 3, 4, 5, 6, 7):
-        padded, instance = _padded_instance(base, height)
-        result = solver.solve(instance)
-        verdict = PROBLEM.verify(padded.graph, padded.inputs, result.outputs)
-        assert verdict.ok, verdict.summary()
-        base_rounds = result.extras["base_rounds"]
+    for height, record in zip(HEIGHTS, engine_report.records):
+        base_rounds = record["extras"]["base_rounds"]
         depth = 2 * height
-        overhead = result.rounds / max(base_rounds, 1)
+        overhead = record["rounds"] / max(base_rounds, 1)
         overheads.append((depth, overhead))
         rows.append(
             [
-                instance.graph.num_nodes,
+                record["actual_n"],
                 height,
                 depth,
                 base_rounds,
-                result.rounds,
+                record["rounds"],
                 round(overhead, 2),
             ]
         )
@@ -78,7 +71,8 @@ def test_multiplicative_overhead(benchmark):
     assert o1 > o0
     assert 0.3 * (d1 / d0) <= o1 / o0 <= 3.0 * (d1 / d0)
 
-    padded, instance = _padded_instance(base, 4)
+    solver = PaddedSolver(PROBLEM, DeterministicSinklessSolver())
+    instance = padded_sinkless_instance(4, 0)
     benchmark(lambda: solver.solve(instance))
 
 

@@ -20,6 +20,13 @@ class SweepPoint:
     rounds_max: int
     rounds_min: int
 
+    def __post_init__(self) -> None:
+        if self.trials < 1:
+            raise ValueError(
+                f"SweepPoint(n={self.n}) needs at least one trial; a mean "
+                "over zero trials is undefined"
+            )
+
     def row(self) -> list:
         return [self.n, self.trials, round(self.rounds_mean, 2), self.rounds_max]
 
@@ -54,25 +61,15 @@ def run_sweep(
     (if given) receives ``(instance, result)`` after every run and
     should raise on invalid outputs, so sweeps never report rounds of
     wrong solutions.
+
+    This is a thin shim over :func:`repro.engine.runner.run_callable_sweep`
+    (imported lazily to keep ``repro.analysis`` importable on its own);
+    callers holding importable references instead of live objects
+    should use :func:`repro.engine.runner.run_experiment` directly and
+    gain multiprocessing and trial caching for free.
     """
-    points = []
-    for n in ns:
-        rounds = []
-        actual_n = n
-        for seed in seeds:
-            instance = instance_factory(n, seed)
-            actual_n = instance.graph.num_nodes
-            result = solver.solve(instance)
-            if verify is not None:
-                verify(instance, result)
-            rounds.append(result.rounds)
-        points.append(
-            SweepPoint(
-                n=actual_n,
-                trials=len(seeds),
-                rounds_mean=sum(rounds) / len(rounds),
-                rounds_max=max(rounds),
-                rounds_min=min(rounds),
-            )
-        )
-    return Sweep(solver_name=solver.name, points=points)
+    if not seeds:
+        raise ValueError("run_sweep needs at least one seed (got an empty grid)")
+    from repro.engine.runner import run_callable_sweep
+
+    return run_callable_sweep(solver, instance_factory, ns, seeds, verify)

@@ -1,0 +1,49 @@
+"""Parallel, cached experiment orchestration.
+
+The engine turns the repo's ad-hoc measurement loops into declarative
+experiment runs: an :class:`ExperimentSpec` names solver, generator,
+verifier and the (n, seed) grid as importable references; the runner
+expands it into content-hashed trials, replays whatever the on-disk
+cache already holds, dispatches the delta to a process pool, and folds
+the records into the same ``Sweep``/``SweepPoint`` shapes the analysis
+layer has always used.  ``python -m repro.engine`` exposes the named
+experiments of :mod:`repro.engine.experiments` from the shell.
+"""
+
+from repro.engine.cache import DEFAULT_CACHE_DIR, CacheStats, TrialCache
+from repro.engine.experiments import EXPERIMENTS, build_experiment
+from repro.engine.pool import default_workers, run_tasks
+from repro.engine.runner import (
+    EngineReport,
+    execute_trial,
+    run_callable_sweep,
+    run_experiment,
+)
+from repro.engine.spec import (
+    CACHE_VERSION,
+    ExperimentSpec,
+    TrialSpec,
+    grid,
+    resolve_ref,
+    seed_grid,
+)
+
+__all__ = [
+    "CACHE_VERSION",
+    "CacheStats",
+    "DEFAULT_CACHE_DIR",
+    "EXPERIMENTS",
+    "EngineReport",
+    "ExperimentSpec",
+    "TrialCache",
+    "TrialSpec",
+    "build_experiment",
+    "default_workers",
+    "execute_trial",
+    "grid",
+    "resolve_ref",
+    "run_callable_sweep",
+    "run_experiment",
+    "run_tasks",
+    "seed_grid",
+]

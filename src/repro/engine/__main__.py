@@ -1,0 +1,8 @@
+"""Entry point for ``python -m repro.engine``."""
+
+import sys
+
+from repro.engine.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

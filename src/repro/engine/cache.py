@@ -1,0 +1,117 @@
+"""Content-addressed on-disk trial store.
+
+Records live in JSON-lines shards under a cache root (default
+``.repro-cache/``), sharded by the first byte of the trial key so no
+single file grows unboundedly and concurrent sweeps touch disjoint
+shards most of the time.  Appends are atomic at the line level; on
+replay the *last* record for a key wins, so an interrupted run can
+simply be re-run.
+
+The cache is deliberately dumb: it stores whatever JSON-safe record
+the runner hands it, keyed by the trial's content hash.  Invalidation
+is handled upstream by :data:`repro.engine.spec.CACHE_VERSION` being
+part of every key.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+__all__ = ["CacheStats", "TrialCache", "DEFAULT_CACHE_DIR"]
+
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "puts": self.puts}
+
+
+@dataclass
+class TrialCache:
+    """A sharded key -> JSON-record store with an in-memory index."""
+
+    root: str = DEFAULT_CACHE_DIR
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self._index: dict[str, dict[str, Any]] = {}
+        self._loaded_shards: set[str] = set()
+        # Fail fast on an unusable cache root, before any trial work
+        # whose results would otherwise be computed and then lost.
+        os.makedirs(self.root, exist_ok=True)
+
+    # -- sharding ------------------------------------------------------
+
+    def _shard_path(self, key: str) -> str:
+        return os.path.join(self.root, f"{key[:2]}.jsonl")
+
+    def _load_shard(self, shard: str) -> None:
+        if shard in self._loaded_shards:
+            return
+        self._loaded_shards.add(shard)
+        try:
+            with open(shard, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        entry = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue  # torn write at the tail of the shard
+                    key = entry.get("key")
+                    if key:
+                        self._index[key] = entry["record"]
+        except OSError:
+            pass  # missing shard == empty shard
+
+    # -- lookup / store ------------------------------------------------
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        self._load_shard(self._shard_path(key))
+        record = self._index.get(key)
+        if record is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return record
+
+    def get_many(self, keys: Iterable[str]) -> dict[str, dict[str, Any]]:
+        found: dict[str, dict[str, Any]] = {}
+        for key in keys:
+            record = self.get(key)
+            if record is not None:
+                found[key] = record
+        return found
+
+    def put(self, key: str, record: dict[str, Any]) -> None:
+        self.put_many([(key, record)])
+
+    def put_many(self, items: Iterable[tuple[str, dict[str, Any]]]) -> None:
+        by_shard: dict[str, list[str]] = {}
+        for key, record in items:
+            self._index[key] = record
+            line = json.dumps(
+                {"key": key, "record": record}, sort_keys=True
+            )
+            by_shard.setdefault(self._shard_path(key), []).append(line)
+            self.stats.puts += 1
+        if not by_shard:
+            return
+        os.makedirs(self.root, exist_ok=True)
+        for shard, lines in by_shard.items():
+            self._loaded_shards.add(shard)
+            with open(shard, "a", encoding="utf-8") as handle:
+                handle.write("\n".join(lines) + "\n")
+
+    def __len__(self) -> int:
+        return len(self._index)

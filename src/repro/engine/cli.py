@@ -1,0 +1,148 @@
+"""``python -m repro.engine`` — run a named experiment from the shell.
+
+Examples::
+
+    python -m repro.engine --experiment sinkless --workers 4
+    python -m repro.engine --experiment landscape --max-n 512 --json out.json
+    python -m repro.engine --experiment sinkless --workers 2 --max-n 64
+
+Prints one table per spec (the same renderer the benchmark suite
+feeds into ``benchmarks/conftest.report``) plus cache/parallelism
+accounting, and optionally writes the full JSON report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.engine.cache import DEFAULT_CACHE_DIR, TrialCache
+from repro.engine.experiments import EXPERIMENTS, build_experiment, paper_placement
+from repro.engine.pool import default_workers
+from repro.engine.runner import EngineReport, run_experiment
+
+__all__ = ["main", "format_report"]
+
+
+def format_report(reports: Sequence[EngineReport]) -> str:
+    """Render engine reports as benchmark-style tables.
+
+    The return value is plain text suitable for
+    ``benchmarks.conftest.report`` — one table per spec with the
+    measured growth fit in the title, followed by run accounting.
+    """
+    from repro.analysis import best_fit, render_table
+
+    blocks = []
+    for rep in reports:
+        sweep = rep.sweep
+        fit_note = ""
+        if len(sweep.points) >= 3:
+            fit = best_fit(sweep.ns(), sweep.means())
+            fit_note = f"\n    measured fit: {fit}"
+        paper_det, paper_rand = paper_placement(rep.spec.name)
+        paper_note = ""
+        if (paper_det, paper_rand) != ("-", "-"):
+            paper_note = f"\n    paper: det {paper_det} / rand {paper_rand}"
+        table = render_table(
+            ["n", "trials", "rounds mean", "rounds max", "rounds min"],
+            [
+                [p.n, p.trials, round(p.rounds_mean, 2), p.rounds_max, p.rounds_min]
+                for p in sweep.points
+            ],
+            title=f"{rep.spec.name} [{sweep.solver_name}]{fit_note}{paper_note}",
+        )
+        blocks.append(table + "\n" + rep.summary())
+    return "\n\n".join(blocks)
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.engine",
+        description="parallel, cached experiment runs for the reproduction",
+    )
+    parser.add_argument(
+        "--experiment",
+        required=True,
+        choices=sorted(EXPERIMENTS),
+        help="named experiment to run",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=default_workers(),
+        help="worker processes (1 = serial; default: CPU count capped at 8)",
+    )
+    parser.add_argument(
+        "--max-n",
+        type=int,
+        default=None,
+        help="upper bound of the size grid (experiment default otherwise)",
+    )
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        default=None,
+        metavar="COUNT",
+        help="number of seeds per point (experiment default otherwise)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help=f"trial cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every trial; do not read or write the cache",
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the report as JSON to PATH ('-' for stdout)",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _parser().parse_args(argv)
+    try:
+        specs = build_experiment(args.experiment, args.max_n, args.seeds)
+        cache = None if args.no_cache else TrialCache(args.cache_dir)
+    except (ValueError, OSError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    reports = [
+        run_experiment(spec, workers=args.workers, cache=cache) for spec in specs
+    ]
+    print(format_report(reports))
+    total = sum(rep.trials_total for rep in reports)
+    hits = sum(rep.cache_hits for rep in reports)
+    elapsed = sum(rep.elapsed for rep in reports)
+    print(
+        f"\ntotal: {total} trials, {hits} cache hits, "
+        f"{args.workers} worker(s), {elapsed:.2f}s"
+    )
+    if args.json:
+        payload = json.dumps(
+            {
+                "experiment": args.experiment,
+                "workers": args.workers,
+                "cache": None if cache is None else args.cache_dir,
+                "reports": [rep.as_dict() for rep in reports],
+            },
+            indent=2,
+        )
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

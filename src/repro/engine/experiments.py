@@ -1,0 +1,347 @@
+"""Named experiments: the paper's headline measurements as specs.
+
+Everything in this module is importable by reference
+(``"repro.engine.experiments:<attr>"``), which is what lets worker
+processes rebuild solvers, generators and verifiers from a spec
+without pickling live objects:
+
+* ``sinkless``  — the Figure 1 separation dot: deterministic
+  Theta(log n) vs randomized Theta(loglog n) sinkless orientation on
+  random cubic instances;
+* ``padding``   — Theorem 1 / Lemma 4: the padded solver's rounds
+  across gadget heights (the grid values are heights, not node
+  counts; the reported n is the padded instance size);
+* ``gadget``    — Lemma 10: the prover V's O(log n) radius on valid
+  gadgets of growing height;
+* ``landscape`` — one spec per implemented LCL row of Figure 1.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.engine.spec import ExperimentSpec, grid
+
+__all__ = ["EXPERIMENTS", "Experiment", "build_experiment"]
+
+_PAPER_PLACEMENT = {
+    "landscape/trivial": ("O(1)", "O(1)"),
+    "landscape/3-coloring-cycles": ("Theta(log* n)", "Theta(log* n)"),
+    "landscape/mis": ("Theta(log* n)", "Theta(log* n)"),
+    "landscape/sinkless-det": ("Theta(log n)", "-"),
+    "landscape/sinkless-rand": ("-", "Theta(loglog n)"),
+}
+
+
+def paper_placement(spec_name: str) -> tuple[str, str]:
+    return _PAPER_PLACEMENT.get(spec_name, ("-", "-"))
+
+
+# -- generators --------------------------------------------------------
+
+
+def cycle_instance(n: int, seed: int):
+    """A cycle with random identifiers (trivial / coloring rows)."""
+    from repro.generators import cycle
+    from repro.local import Instance
+    from repro.local.identifiers import random_ids
+    from repro.util.rng import NodeRng
+
+    rng = random.Random(seed * 7919 + n)
+    return Instance(cycle(n), random_ids(n, rng), None, None, NodeRng(seed))
+
+
+def padded_sinkless_instance(height: int, seed: int):
+    """A 16-node cubic base padded with gadgets of the given height."""
+    from repro.core.padding import pad_graph
+    from repro.gadgets import build_gadget
+    from repro.generators import random_regular
+    from repro.local import Instance
+    from repro.local.identifiers import sequential_ids
+    from repro.util.rng import NodeRng
+
+    base = random_regular(16, 3, random.Random(2 + seed))
+    gadgets = [build_gadget(3, height) for _ in base.nodes()]
+    padded = pad_graph(base, gadgets)
+    return Instance(
+        padded.graph,
+        sequential_ids(padded.graph.num_nodes),
+        padded.inputs,
+        None,
+        NodeRng(seed),
+    )
+
+
+def gadget_instance(height: int, seed: int):
+    """One valid gadget of the family, as a prover instance."""
+    del seed  # the gadget family is deterministic per height
+    from repro.gadgets import LogGadgetFamily
+    from repro.local import Instance
+    from repro.local.identifiers import sequential_ids
+
+    built = LogGadgetFamily(3).member_with_height(height)
+    return Instance(
+        built.graph, sequential_ids(built.graph.num_nodes), built.inputs
+    )
+
+
+# -- solver factories --------------------------------------------------
+
+
+def padded_sinkless_solver():
+    from repro.core import PaddedSolver
+    from repro.problems import DeterministicSinklessSolver
+
+    return PaddedSolver(_padded_problem(), DeterministicSinklessSolver())
+
+
+def _padded_problem():
+    from repro.core import PaddedProblem
+    from repro.gadgets import LogGadgetFamily
+    from repro.problems import SinklessOrientation
+
+    return PaddedProblem(SinklessOrientation().problem(), LogGadgetFamily(3))
+
+
+class GadgetProverSolver:
+    """Adapter: the distributed prover V as a ``LocalAlgorithm``."""
+
+    name = "gadget-prover-V"
+    randomized = False
+
+    def solve(self, instance):
+        from repro.gadgets import GadgetScope, run_prover
+        from repro.local.algorithm import RunResult
+
+        scope = GadgetScope(instance.graph, instance.inputs)
+        component = sorted(instance.graph.nodes())
+        result = run_prover(scope, component, 3, instance.n_hint)
+        return RunResult(
+            outputs=result.outputs,
+            node_radius=[result.node_radius[v] for v in component],
+            extras={"all_ok": result.all_ok(), "is_valid": result.is_valid},
+        )
+
+
+# -- verifiers ---------------------------------------------------------
+
+
+def verify_sinkless(instance, result) -> None:
+    from repro.lcl import Labeling, verify
+    from repro.problems import SinklessOrientation
+
+    problem = SinklessOrientation().problem()
+    verdict = verify(
+        problem, instance.graph, Labeling(instance.graph), result.outputs
+    )
+    assert verdict.ok, verdict.summary()
+
+
+def verify_cycle_coloring(instance, result) -> None:
+    from repro.lcl import Labeling, verify
+    from repro.problems import ThreeColoringCycles
+
+    problem = ThreeColoringCycles().problem()
+    verdict = verify(
+        problem, instance.graph, Labeling(instance.graph), result.outputs
+    )
+    assert verdict.ok, verdict.summary()
+
+
+def verify_mis(instance, result) -> None:
+    from repro.lcl import Labeling, verify
+    from repro.problems import MaximalIndependentSet
+
+    problem = MaximalIndependentSet().problem()
+    verdict = verify(
+        problem, instance.graph, Labeling(instance.graph), result.outputs
+    )
+    assert verdict.ok, verdict.summary()
+
+
+def verify_padded_sinkless(instance, result) -> None:
+    verdict = _padded_problem().verify(
+        instance.graph, instance.inputs, result.outputs
+    )
+    assert verdict.ok, verdict.summary()
+
+
+def verify_prover_ok(instance, result) -> None:
+    assert result.extras["all_ok"], "prover flagged a valid gadget"
+
+
+# -- the registry ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A named group of specs plus how to scale it to a size budget."""
+
+    name: str
+    description: str
+    build: Callable[[int, tuple[int, ...]], list[ExperimentSpec]]
+    default_max_n: int
+    default_seed_count: int
+
+
+def _build_sinkless(max_n: int, seeds: tuple[int, ...]) -> list[ExperimentSpec]:
+    ns = grid(64, max_n)
+    return [
+        ExperimentSpec(
+            name="sinkless/det",
+            solver="repro.problems:DeterministicSinklessSolver",
+            generator="repro.generators.hard:cubic_instance",
+            verifier="repro.engine.experiments:verify_sinkless",
+            ns=ns,
+            seeds=seeds,
+        ),
+        ExperimentSpec(
+            name="sinkless/rand",
+            solver="repro.problems:RandomizedSinklessSolver",
+            generator="repro.generators.hard:cubic_instance",
+            verifier="repro.engine.experiments:verify_sinkless",
+            ns=ns,
+            seeds=seeds,
+        ),
+    ]
+
+
+def _build_padding(max_n: int, seeds: tuple[int, ...]) -> list[ExperimentSpec]:
+    # The grid values are gadget heights; padded sizes grow as ~2^h.
+    heights = tuple(h for h in range(2, 8) if 16 * (2 ** (h + 1)) <= max_n)
+    if not heights:
+        raise ValueError(
+            "padding experiment needs --max-n >= 128 (the smallest "
+            "height-2 padded instance has ~128 nodes)"
+        )
+    return [
+        ExperimentSpec(
+            name="padding/multiplicative-overhead",
+            solver="repro.engine.experiments:padded_sinkless_solver",
+            generator="repro.engine.experiments:padded_sinkless_instance",
+            verifier="repro.engine.experiments:verify_padded_sinkless",
+            ns=heights,
+            seeds=seeds,
+        )
+    ]
+
+
+def _build_gadget(max_n: int, seeds: tuple[int, ...]) -> list[ExperimentSpec]:
+    del seeds  # the prover is deterministic; one seed suffices
+    heights = tuple(h for h in range(3, 11) if 2 ** (h + 1) <= max_n)
+    if not heights:
+        raise ValueError(
+            "gadget experiment needs --max-n >= 16 (the smallest "
+            "height-3 gadget has ~22 nodes)"
+        )
+    return [
+        ExperimentSpec(
+            name="gadget/prover-radius",
+            solver="repro.engine.experiments:GadgetProverSolver",
+            generator="repro.engine.experiments:gadget_instance",
+            verifier="repro.engine.experiments:verify_prover_ok",
+            ns=heights,
+            seeds=(0,),
+        )
+    ]
+
+
+def _build_landscape(max_n: int, seeds: tuple[int, ...]) -> list[ExperimentSpec]:
+    ns = grid(64, max_n)
+    cycle_gen = "repro.engine.experiments:cycle_instance"
+    cubic_gen = "repro.generators.hard:cubic_instance"
+    return [
+        ExperimentSpec(
+            name="landscape/trivial",
+            solver="repro.problems:ConstantSolver",
+            generator=cycle_gen,
+            ns=ns,
+            seeds=(0,),
+        ),
+        ExperimentSpec(
+            name="landscape/3-coloring-cycles",
+            solver="repro.problems:CycleColoringSolver",
+            generator=cycle_gen,
+            verifier="repro.engine.experiments:verify_cycle_coloring",
+            ns=ns,
+            seeds=seeds,
+        ),
+        ExperimentSpec(
+            name="landscape/mis",
+            solver="repro.problems:ColorClassMisSolver",
+            generator=cubic_gen,
+            verifier="repro.engine.experiments:verify_mis",
+            ns=ns,
+            seeds=(0,),
+        ),
+        ExperimentSpec(
+            name="landscape/sinkless-det",
+            solver="repro.problems:DeterministicSinklessSolver",
+            generator=cubic_gen,
+            verifier="repro.engine.experiments:verify_sinkless",
+            ns=ns,
+            seeds=seeds,
+        ),
+        ExperimentSpec(
+            name="landscape/sinkless-rand",
+            solver="repro.problems:RandomizedSinklessSolver",
+            generator=cubic_gen,
+            verifier="repro.engine.experiments:verify_sinkless",
+            ns=ns,
+            seeds=seeds,
+        ),
+    ]
+
+
+EXPERIMENTS: dict[str, Experiment] = {
+    "sinkless": Experiment(
+        "sinkless",
+        "deterministic vs randomized sinkless orientation (Figure 1 dot)",
+        _build_sinkless,
+        default_max_n=4096,
+        default_seed_count=2,
+    ),
+    "padding": Experiment(
+        "padding",
+        "Theorem 1 multiplicative padding overhead across gadget heights",
+        _build_padding,
+        default_max_n=4096,
+        default_seed_count=1,
+    ),
+    "gadget": Experiment(
+        "gadget",
+        "Lemma 10 prover V radius on valid gadgets",
+        _build_gadget,
+        default_max_n=2048,
+        default_seed_count=1,
+    ),
+    "landscape": Experiment(
+        "landscape",
+        "Figure 1 landscape rows (one spec per LCL)",
+        _build_landscape,
+        default_max_n=1024,
+        default_seed_count=2,
+    ),
+}
+
+
+def build_experiment(
+    name: str, max_n: int | None = None, seed_count: int | None = None
+) -> list[ExperimentSpec]:
+    """Instantiate a named experiment's specs at the requested scale."""
+    try:
+        experiment = EXPERIMENTS[name]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise ValueError(f"unknown experiment {name!r} (known: {known})") from None
+    if seed_count is None:
+        seed_count = experiment.default_seed_count
+    if seed_count < 1:
+        raise ValueError(f"need at least one seed, got --seeds {seed_count}")
+    if max_n is None:
+        max_n = experiment.default_max_n
+    if max_n < 1:
+        raise ValueError(f"--max-n must be positive, got {max_n}")
+    return experiment.build(max_n, tuple(range(seed_count)))

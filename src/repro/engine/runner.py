@@ -1,0 +1,233 @@
+"""Spec -> pool -> cache orchestration.
+
+``run_experiment`` turns an :class:`~repro.engine.spec.ExperimentSpec`
+into aggregated :class:`~repro.analysis.sweep.SweepPoint` rows:
+
+1. expand the spec into its trial grid (n-major, seed-minor order);
+2. look every trial key up in the cache;
+3. dispatch only the missing trials to the worker pool;
+4. store the freshly computed records;
+5. aggregate all records, in grid order, into a ``Sweep``.
+
+Aggregation is a pure function of the ordered record list, and the
+pool is order-preserving, so the same spec yields bit-identical sweeps
+at any worker count, and a warm cache replays a sweep without running
+a single solver.
+
+``run_callable_sweep`` is the in-process path for callers holding live
+solver objects and closures (the legacy ``run_sweep`` signature); it
+shares the aggregation code but cannot be parallelized or cached,
+since arbitrary callables have no content hash.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.analysis.sweep import Sweep, SweepPoint
+from repro.engine.cache import TrialCache
+from repro.engine.pool import run_tasks
+from repro.engine.spec import ExperimentSpec, TrialSpec, resolve_ref
+
+__all__ = ["EngineReport", "execute_trial", "run_callable_sweep", "run_experiment"]
+
+
+@dataclass
+class EngineReport:
+    """One experiment's aggregated results plus run accounting."""
+
+    spec: ExperimentSpec
+    sweep: Sweep
+    records: list[dict[str, Any]]
+    trials_total: int
+    cache_hits: int
+    computed: int
+    elapsed: float
+    workers: int
+
+    def summary(self) -> str:
+        return (
+            f"{self.spec.name}: {self.trials_total} trials "
+            f"({self.cache_hits} cached, {self.computed} computed) "
+            f"on {self.workers} worker(s) in {self.elapsed:.2f}s"
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "experiment": self.spec.name,
+            "solver": self.sweep.solver_name,
+            "workers": self.workers,
+            "trials_total": self.trials_total,
+            "cache_hits": self.cache_hits,
+            "computed": self.computed,
+            "elapsed_s": round(self.elapsed, 4),
+            "points": [
+                {
+                    "n": p.n,
+                    "trials": p.trials,
+                    "rounds_mean": p.rounds_mean,
+                    "rounds_max": p.rounds_max,
+                    "rounds_min": p.rounds_min,
+                }
+                for p in self.sweep.points
+            ],
+        }
+
+
+def _json_safe_extras(extras: dict) -> dict[str, Any]:
+    return {
+        key: value
+        for key, value in extras.items()
+        if isinstance(key, str) and isinstance(value, (bool, int, float, str))
+    }
+
+
+def execute_trial(trial: TrialSpec) -> dict[str, Any]:
+    """Run one trial and return its JSON-safe record.
+
+    The trial seed fully determines the instance (generator mixes it
+    in) and the solver's randomness (the instance carries a
+    ``NodeRng(seed)``), so this function is deterministic in any
+    process.
+    """
+    generator = resolve_ref(trial.generator)
+    instance = generator(trial.n, trial.seed, **dict(trial.params))
+    solver = resolve_ref(trial.solver)()
+    result = solver.solve(instance)
+    if trial.verifier:
+        resolve_ref(trial.verifier)(instance, result)
+    return {
+        "n": trial.n,
+        "actual_n": instance.graph.num_nodes,
+        "seed": trial.seed,
+        "rounds": result.rounds,
+        "extras": _json_safe_extras(result.extras),
+    }
+
+
+def _execute_payload(payload: dict[str, Any]) -> dict[str, Any]:
+    """Module-level pool target: payload dict in, record dict out."""
+    return execute_trial(TrialSpec.from_payload(payload))
+
+
+def aggregate_points(
+    ns: Sequence[int], seeds: Sequence[int], records: Sequence[dict[str, Any]]
+) -> list[SweepPoint]:
+    """Fold grid-ordered records into one SweepPoint per requested n.
+
+    Mirrors the legacy ``run_sweep`` accounting exactly: the reported
+    ``n`` is the actual size of the point's (last) instance, and the
+    mean is taken over the seed grid in seed order — hence bit-stable.
+    """
+    if not seeds:
+        raise ValueError("aggregation needs at least one seed per point")
+    per_point = len(seeds)
+    if len(records) != len(ns) * per_point:
+        raise ValueError(
+            f"record count {len(records)} does not cover the "
+            f"{len(ns)}x{per_point} trial grid"
+        )
+    points = []
+    for i, _n in enumerate(ns):
+        chunk = records[i * per_point : (i + 1) * per_point]
+        rounds = [record["rounds"] for record in chunk]
+        points.append(
+            SweepPoint(
+                n=chunk[-1]["actual_n"],
+                trials=len(rounds),
+                rounds_mean=sum(rounds) / len(rounds),
+                rounds_max=max(rounds),
+                rounds_min=min(rounds),
+            )
+        )
+    return points
+
+
+def run_experiment(
+    spec: ExperimentSpec,
+    workers: int = 1,
+    cache: TrialCache | None = None,
+) -> EngineReport:
+    """Run (or replay) one experiment spec and aggregate its sweep."""
+    start = time.perf_counter()
+    trials = spec.trials()
+    keys = [trial.key() for trial in trials]
+    records: list[dict[str, Any] | None] = [None] * len(trials)
+    missing: list[int] = []
+    if cache is not None:
+        for i, key in enumerate(keys):
+            records[i] = cache.get(key)
+            if records[i] is None:
+                missing.append(i)
+    else:
+        missing = list(range(len(trials)))
+    cache_hits = len(trials) - len(missing)
+
+    if missing:
+        payloads = [trials[i].to_payload() for i in missing]
+        computed = run_tasks(
+            _execute_payload,
+            payloads,
+            workers=workers,
+            pool_seed=zlib.crc32(spec.name.encode()),
+        )
+        for i, record in zip(missing, computed):
+            records[i] = record
+        if cache is not None:
+            cache.put_many((keys[i], records[i]) for i in missing)
+
+    solver_name = getattr(spec.make_solver(), "name", spec.solver)
+    sweep = Sweep(
+        solver_name=solver_name,
+        points=aggregate_points(spec.ns, spec.seeds, records),
+    )
+    return EngineReport(
+        spec=spec,
+        sweep=sweep,
+        records=records,  # type: ignore[arg-type]
+        trials_total=len(trials),
+        cache_hits=cache_hits,
+        computed=len(missing),
+        elapsed=time.perf_counter() - start,
+        workers=workers,
+    )
+
+
+def run_callable_sweep(
+    solver: Any,
+    instance_factory: Callable[[int, int], Any],
+    ns: Sequence[int],
+    seeds: Sequence[int] = (0, 1, 2),
+    verify: Callable[[Any, Any], None] | None = None,
+) -> Sweep:
+    """The engine's in-process sweep over live callables.
+
+    This is the execution path behind :func:`repro.analysis.sweep.run_sweep`:
+    same trial grid, same aggregation, no pickling requirements — and
+    therefore serial and uncached.
+    """
+    if not seeds:
+        raise ValueError("run_sweep needs at least one seed (got an empty grid)")
+    records: list[dict[str, Any]] = []
+    for n in ns:
+        for seed in seeds:
+            instance = instance_factory(n, seed)
+            result = solver.solve(instance)
+            if verify is not None:
+                verify(instance, result)
+            records.append(
+                {
+                    "n": n,
+                    "actual_n": instance.graph.num_nodes,
+                    "seed": seed,
+                    "rounds": result.rounds,
+                    "extras": {},
+                }
+            )
+    return Sweep(
+        solver_name=solver.name,
+        points=aggregate_points(ns, seeds, records),
+    )

@@ -1,0 +1,184 @@
+"""Declarative experiment specifications.
+
+An :class:`ExperimentSpec` names everything one sweep needs — solver,
+instance generator, verifier, the size grid, the seed grid — as
+importable references (``"module:attr"`` strings) rather than live
+objects.  That buys two properties at once:
+
+* **picklability** — a spec travels to worker processes as a handful
+  of strings and ints, so the pool never depends on closures or open
+  file handles surviving a fork/spawn;
+* **content addressing** — every :class:`TrialSpec` hashes to a stable
+  key derived purely from the fields that determine its result, so the
+  cache can replay identical trials across runs and worker counts.
+
+References resolve with :func:`resolve_ref`; solver references must
+point at a zero-argument factory (a class works), generator references
+at a ``(n, seed, **params) -> Instance`` callable, verifier references
+at a ``(instance, result) -> None`` callable that raises on invalid
+outputs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+__all__ = [
+    "CACHE_VERSION",
+    "ExperimentSpec",
+    "TrialSpec",
+    "grid",
+    "resolve_ref",
+    "seed_grid",
+]
+
+# Bump when the trial record layout changes; stale cache shards are
+# then simply never hit instead of being misread.
+CACHE_VERSION = 1
+
+
+def resolve_ref(ref: str) -> Any:
+    """Import the object named by a ``"module:attr"`` reference."""
+    module_name, _, attr_path = ref.partition(":")
+    if not module_name or not attr_path:
+        raise ValueError(f"reference {ref!r} is not of the form 'module:attr'")
+    obj = importlib.import_module(module_name)
+    for attr in attr_path.split("."):
+        obj = getattr(obj, attr)
+    return obj
+
+
+def _canonical_params(params: dict[str, Any] | None) -> tuple[tuple[str, Any], ...]:
+    if not params:
+        return ()
+    for key, value in params.items():
+        if not isinstance(value, (bool, int, float, str, type(None))):
+            raise TypeError(
+                f"param {key!r} must be a JSON scalar, got {type(value).__name__}"
+            )
+    return tuple(sorted(params.items()))
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One deterministic unit of work: (generator, solver, n, seed).
+
+    Two trials with equal fields produce bit-identical results, so the
+    sha256 of the canonical field encoding is a safe cache key.
+    """
+
+    solver: str
+    generator: str
+    verifier: str | None
+    n: int
+    seed: int
+    params: tuple[tuple[str, Any], ...] = ()
+
+    def key(self) -> str:
+        payload = json.dumps(
+            {
+                "v": CACHE_VERSION,
+                "solver": self.solver,
+                "generator": self.generator,
+                "verifier": self.verifier,
+                "n": self.n,
+                "seed": self.seed,
+                "params": list(self.params),
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def to_payload(self) -> dict[str, Any]:
+        """A plain-dict form that survives pickling to any start method."""
+        return {
+            "solver": self.solver,
+            "generator": self.generator,
+            "verifier": self.verifier,
+            "n": self.n,
+            "seed": self.seed,
+            "params": list(self.params),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "TrialSpec":
+        return cls(
+            solver=payload["solver"],
+            generator=payload["generator"],
+            verifier=payload["verifier"],
+            n=payload["n"],
+            seed=payload["seed"],
+            params=tuple((k, v) for k, v in payload["params"]),
+        )
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A named sweep: one solver across an n-grid and a seed-grid."""
+
+    name: str
+    solver: str
+    generator: str
+    ns: tuple[int, ...]
+    seeds: tuple[int, ...] = (0, 1, 2)
+    verifier: str | None = None
+    params: dict[str, Any] | None = field(default=None, hash=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "ns", tuple(self.ns))
+        object.__setattr__(self, "seeds", tuple(self.seeds))
+        if not self.ns:
+            raise ValueError(f"experiment {self.name!r} has an empty n-grid")
+        if not self.seeds:
+            raise ValueError(f"experiment {self.name!r} has an empty seed-grid")
+
+    def trials(self) -> list[TrialSpec]:
+        """The full trial grid, in deterministic (n-major, seed-minor) order."""
+        canon = _canonical_params(self.params)
+        return [
+            TrialSpec(
+                solver=self.solver,
+                generator=self.generator,
+                verifier=self.verifier,
+                n=n,
+                seed=seed,
+                params=canon,
+            )
+            for n in self.ns
+            for seed in self.seeds
+        ]
+
+    def make_solver(self) -> Any:
+        return resolve_ref(self.solver)()
+
+    def make_generator(self) -> Callable[..., Any]:
+        return resolve_ref(self.generator)
+
+    def make_verifier(self) -> Callable[..., None] | None:
+        return resolve_ref(self.verifier) if self.verifier else None
+
+
+def grid(lo: int, hi: int, base: int = 2) -> tuple[int, ...]:
+    """Geometric n-grid: powers of ``base`` from ``lo`` up to ``hi``."""
+    if hi < lo:
+        raise ValueError(
+            f"grid upper bound {hi} is below the smallest size {lo}; "
+            f"raise --max-n to at least {lo}"
+        )
+    ns: list[int] = []
+    n = lo
+    while n <= hi:
+        ns.append(n)
+        n *= base
+    return tuple(ns)
+
+
+def seed_grid(count: int) -> tuple[int, ...]:
+    if count < 1:
+        raise ValueError("need at least one seed")
+    return tuple(range(count))

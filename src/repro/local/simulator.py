@@ -101,9 +101,13 @@ class SyncEngine:
             trace.append(MessageRound(round_index, active))
             # Deliver: the message leaving (u, p) arrives at the half-edge
             # across the edge.  Halted nodes send nothing; their neighbors
-            # receive an explicit None on that port.
-            inboxes: list[list[Any]] = [
-                [None] * graph.degree(v) for v in graph.nodes()
+            # receive an explicit None on that port.  Only non-halted nodes
+            # get an inbox — halted receivers would never read theirs, and
+            # on large graphs with early halters the skipped allocations
+            # dominate the per-round cost.
+            inboxes: list[list[Any] | None] = [
+                None if halted[v] else [None] * graph.degree(v)
+                for v in graph.nodes()
             ]
             for v in graph.nodes():
                 out = outboxes[v]
@@ -111,7 +115,9 @@ class SyncEngine:
                     continue
                 for port in range(graph.degree(v)):
                     target = graph.endpoint(v, port)
-                    inboxes[target.node][target.port] = out[port]
+                    inbox = inboxes[target.node]
+                    if inbox is not None:
+                        inbox[target.port] = out[port]
             for v, node in enumerate(self.nodes):
                 if not halted[v]:
                     node.receive(round_index, inboxes[v])

@@ -14,6 +14,7 @@ FAST_EXAMPLES = [
     "quickstart.py",
     "padded_lcl_demo.py",
     "error_proofs_demo.py",
+    "engine_demo.py",
 ]
 
 
@@ -37,5 +38,6 @@ def test_examples_exist():
         "padded_lcl_demo.py",
         "error_proofs_demo.py",
         "complexity_landscape_mini.py",
+        "engine_demo.py",
     }
     assert expected <= present
