@@ -1,0 +1,150 @@
+"""E14 — incidence-core microbenchmarks: flat CSR tables vs the object API.
+
+Times the same topology queries through both access layers of
+:class:`PortGraph` — the pre-existing ``Edge``/``HalfEdge`` object path
+and the flat CSR tables added by the incidence core — on the three
+graph families the reproduction leans on (cycles, random cubic graphs,
+the paper's gadgets).  Results land both in the human-readable table
+(``report``) and in ``BENCH_incidence.json`` (``report_json``) so the
+trajectory is tracked across PRs.
+
+Set ``BENCH_QUICK=1`` to run with few repetitions (CI smoke mode).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+from benchmarks.conftest import report, report_json
+from repro.analysis import render_table
+from repro.gadgets.build import build_gadget
+from repro.generators import cycle, random_regular
+from repro.local import bfs_distances
+from repro.local.graphs import HalfEdge, PortGraph
+
+QUICK = os.environ.get("BENCH_QUICK", "") not in ("", "0")
+REPS = 1 if QUICK else 5
+
+
+# -- the two access paths -----------------------------------------------------
+
+
+def _endpoint_sweep_object(graph: PortGraph) -> int:
+    """Visit every half-edge via edge objects (the pre-flat-core path)."""
+    total = 0
+    for v in graph.nodes():
+        for port in range(graph.degree(v)):
+            edge = graph.edge_at(v, port)
+            total += edge.other_side(HalfEdge(v, port)).node
+    return total
+
+
+def _endpoint_sweep_flat(graph: PortGraph) -> int:
+    """Visit every half-edge through the CSR tables."""
+    off, nbr, _, _ = graph.csr()
+    total = 0
+    for v in graph.nodes():
+        for u in nbr[off[v] : off[v + 1]]:
+            total += u
+    return total
+
+
+def _bfs_object(graph: PortGraph, source: int) -> dict[int, int]:
+    """Full BFS via edge objects (the pre-flat-core bfs_distances)."""
+    dist = {source: 0}
+    queue = [source]
+    for v in queue:
+        d = dist[v]
+        for port in range(graph.degree(v)):
+            edge = graph.edge_at(v, port)
+            u = edge.other_side(HalfEdge(v, port)).node
+            if u not in dist:
+                dist[u] = d + 1
+                queue.append(u)
+    return dist
+
+
+def _time(fn, *args) -> float:
+    best = float("inf")
+    for _ in range(REPS):
+        start = time.perf_counter()
+        fn(*args)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _graphs() -> list[tuple[str, PortGraph]]:
+    size = 512 if QUICK else 4096
+    cubic = 256 if QUICK else 2048
+    return [
+        (f"cycle-{size}", cycle(size)),
+        (f"cubic-{cubic}", random_regular(cubic, 3, random.Random(0))),
+        ("gadget-d3-h5", build_gadget(3, 5).graph),
+    ]
+
+
+def test_incidence_core_old_vs_new():
+    rows = []
+    results: dict[str, dict] = {}
+    for name, graph in _graphs():
+        assert _endpoint_sweep_object(graph) == _endpoint_sweep_flat(graph)
+        assert _bfs_object(graph, 0) == bfs_distances(graph, 0)
+        sweep_obj = _time(_endpoint_sweep_object, graph)
+        sweep_flat = _time(_endpoint_sweep_flat, graph)
+        bfs_obj = _time(_bfs_object, graph, 0)
+        bfs_flat = _time(bfs_distances, graph, 0)
+        results[name] = {
+            "num_nodes": graph.num_nodes,
+            "num_edges": graph.num_edges,
+            "endpoint_sweep": {
+                "object_s": sweep_obj,
+                "flat_s": sweep_flat,
+                "speedup": round(sweep_obj / sweep_flat, 2),
+            },
+            "bfs_full": {
+                "object_s": bfs_obj,
+                "flat_s": bfs_flat,
+                "speedup": round(bfs_obj / bfs_flat, 2),
+            },
+        }
+        rows.append(
+            [
+                name,
+                f"{sweep_obj * 1e3:.2f}ms",
+                f"{sweep_flat * 1e3:.2f}ms",
+                f"{sweep_obj / sweep_flat:.1f}x",
+                f"{bfs_obj * 1e3:.2f}ms",
+                f"{bfs_flat * 1e3:.2f}ms",
+                f"{bfs_obj / bfs_flat:.1f}x",
+            ]
+        )
+        # The perf claim this PR ships: flat reads beat object hops.
+        # Only asserted in thorough mode — a single quick-mode sample on
+        # a noisy CI runner is not evidence of a regression.
+        if not QUICK:
+            assert sweep_flat < sweep_obj
+    report_json("incidence_core", {"quick": QUICK, "graphs": results})
+    report(
+        render_table(
+            [
+                "graph",
+                "sweep(obj)",
+                "sweep(flat)",
+                "speedup",
+                "bfs(obj)",
+                "bfs(flat)",
+                "speedup",
+            ],
+            rows,
+            title="E14  incidence core: object API vs flat CSR tables",
+        )
+    )
+
+
+def test_incidence_core_benchmark_hooks(benchmark):
+    """pytest-benchmark visibility for the flat path on the cubic graph."""
+    graph = random_regular(256 if QUICK else 2048, 3, random.Random(0))
+    result = benchmark(lambda: len(bfs_distances(graph, 0)))
+    assert result == graph.num_nodes

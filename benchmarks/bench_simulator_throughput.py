@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 import random
+import time
 
-from benchmarks.conftest import report
+from benchmarks.conftest import report, report_json
 from repro.analysis import render_table
 from repro.generators import cycle, random_regular
 from repro.lcl import Labeling, verify
@@ -53,6 +54,39 @@ def test_verifier_throughput(benchmark):
         return verify(problem, graph, Labeling(graph), outputs).ok
 
     assert benchmark(check)
+
+    # One timed pass per case for the machine-readable trajectory file
+    # (pytest-benchmark stats are unavailable under --benchmark-disable).
+    from tests.test_views_simulator import _FloodNode
+
+    flood_graph = cycle(512)
+    flood_instance = Instance(flood_graph, sequential_ids(512))
+    start = time.perf_counter()
+    SyncEngine(flood_instance, _FloodNode).run()
+    flood_s = time.perf_counter() - start
+
+    def gather_once() -> float:
+        oracle = ViewOracle(random_regular(2048, 3, random.Random(0)))
+        start = time.perf_counter()
+        for v in range(0, 2048, 64):
+            oracle.view(v, 8)
+        return time.perf_counter() - start
+
+    report_json(
+        "simulator_throughput",
+        {
+            "engine_flood_512_cycle_s": flood_s,
+            "view_gathering_2048_cubic_r8_s": gather_once(),
+            # Reference point from the commit preceding the flat-core PR.
+            # Only comparable to runs on the same machine — don't divide
+            # numbers measured on a different host by these.
+            "pre_incidence_core_baseline": {
+                "engine_flood_512_cycle_s": 1.564,
+                "view_gathering_2048_cubic_r8_s": 0.0226,
+                "machine": "x86_64 linux, PR-2 development host",
+            },
+        },
+    )
     report(
         render_table(
             ["component", "instance"],

@@ -10,31 +10,76 @@ of pytest's output capture.  They are also appended to
 
 from __future__ import annotations
 
+import json
 import os
+import platform
+import sys
 
 import pytest
 
 _REPORTS: list[str] = []
+_JSON_REPORTS: dict[str, object] = {}
 _RESULTS_FILE = os.path.join(os.path.dirname(__file__), "results.txt")
+_JSON_FILE = os.path.join(os.path.dirname(__file__), "BENCH_incidence.json")
 
 
 def report(text: str) -> None:
     _REPORTS.append(text)
 
 
+def report_json(key: str, payload: object) -> None:
+    """Collect a machine-readable benchmark record.
+
+    Everything registered here is written to ``BENCH_incidence.json``
+    at the end of the run, so the perf trajectory of the incidence core
+    can be tracked across PRs without parsing the human tables.
+    """
+    _JSON_REPORTS[key] = payload
+
+
+def _merged_reports() -> tuple[list[str], dict[str, object]]:
+    """Reports from this module AND its twin import instance.
+
+    pytest loads this file as module ``conftest`` while the bench files
+    ``import benchmarks.conftest``; without an ``__init__.py`` those are
+    two separate module objects, so the hook must merge both to see
+    what the benchmarks registered.
+    """
+    reports = list(_REPORTS)
+    json_reports = dict(_JSON_REPORTS)
+    twin = sys.modules.get("benchmarks.conftest")
+    if twin is not None and getattr(twin, "_REPORTS", None) is not _REPORTS:
+        reports += twin._REPORTS
+        json_reports.update(twin._JSON_REPORTS)
+    return reports, json_reports
+
+
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
-    if not _REPORTS:
-        return
-    terminalreporter.section("reproduction tables (paper vs measured)")
-    for text in _REPORTS:
-        terminalreporter.write_line("")
-        for line in text.splitlines():
-            terminalreporter.write_line(line)
-    try:
-        with open(_RESULTS_FILE, "w") as handle:
-            handle.write("\n\n".join(_REPORTS) + "\n")
-    except OSError:  # pragma: no cover - the report is best-effort
-        pass
+    reports, json_reports = _merged_reports()
+    if reports:
+        terminalreporter.section("reproduction tables (paper vs measured)")
+        for text in reports:
+            terminalreporter.write_line("")
+            for line in text.splitlines():
+                terminalreporter.write_line(line)
+        try:
+            with open(_RESULTS_FILE, "w") as handle:
+                handle.write("\n\n".join(reports) + "\n")
+        except OSError:  # pragma: no cover - the report is best-effort
+            pass
+    if json_reports:
+        payload = {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            **json_reports,
+        }
+        try:
+            with open(_JSON_FILE, "w") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            terminalreporter.write_line(f"wrote {_JSON_FILE}")
+        except OSError:  # pragma: no cover - the report is best-effort
+            pass
 
 
 @pytest.fixture(scope="session")

@@ -42,27 +42,26 @@ def random_regular(
 
 def _short_cycle_edge(graph: PortGraph, below: int) -> tuple[int, int] | None:
     """Return (eid of an edge on a cycle shorter than ``below``, length)."""
-    from collections import deque
-
+    off, nbr, _, eids = graph.csr()
     for source in graph.nodes():
         dist = {source: 0}
         parent = {source: -1}
-        frontier = deque([source])
-        while frontier:
-            v = frontier.popleft()
-            if dist[v] * 2 >= below:
+        queue = [source]
+        for v in queue:
+            d = dist[v]
+            if d * 2 >= below:
                 continue
-            for port in range(graph.degree(v)):
-                u = graph.neighbor(v, port)
-                eid = graph.edge_id_at(v, port)
+            for slot in range(off[v], off[v + 1]):
+                u = nbr[slot]
+                eid = eids[slot]
                 if u == v:
                     return eid, 1
                 if u not in dist:
-                    dist[u] = dist[v] + 1
+                    dist[u] = d + 1
                     parent[u] = eid
-                    frontier.append(u)
+                    queue.append(u)
                 elif parent[v] != eid:
-                    length = dist[u] + dist[v] + 1
+                    length = dist[u] + d + 1
                     if length < below:
                         return eid, length
     return None

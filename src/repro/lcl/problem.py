@@ -95,6 +95,12 @@ class NeLCL:
     ``node_constraint`` and ``edge_constraint`` return ``True`` for
     acceptable configurations.  Alphabets may be ``None`` (shape checked
     but membership not enforced) or :class:`LabelSet` instances.
+
+    ``edge_symmetric`` declares that ``edge_constraint`` is invariant
+    under swapping the two sides; the verifier then skips the flipped
+    re-evaluation of every edge.  Only set it when the constraint is
+    genuinely symmetric — the double-sided check exists to catch
+    ill-formed constraints.
     """
 
     name: str
@@ -106,6 +112,7 @@ class NeLCL:
     node_outputs: LabelSet | None = None
     edge_outputs: LabelSet | None = None
     half_outputs: LabelSet | None = None
+    edge_symmetric: bool = False
     description: str = ""
     metadata: dict = field(default_factory=dict)
 

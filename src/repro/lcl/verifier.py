@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 from repro.lcl.assignment import Labeling
 from repro.lcl.problem import EdgeConfiguration, NeLCL, NodeConfiguration
-from repro.local.graphs import HalfEdge, PortGraph
+from repro.local.graphs import PortGraph
 
 __all__ = ["Violation", "Verdict", "verify", "node_configuration", "edge_configuration"]
 
@@ -52,19 +52,28 @@ class Verdict:
 def node_configuration(
     graph: PortGraph, v: int, inputs: Labeling, outputs: Labeling
 ) -> NodeConfiguration:
-    """Assemble the configuration node ``v`` checks locally."""
-    degree = graph.degree(v)
-    eids = [graph.edge_id_at(v, p) for p in range(degree)]
-    sides = [HalfEdge(v, p) for p in range(degree)]
+    """Assemble the configuration node ``v`` checks locally.
+
+    Reads topology through the flat incidence core: edge ids come from
+    the per-node table, and a port is a loop port exactly when its flat
+    neighbor entry is ``v`` itself.  Plain ``(v, p)`` tuples stand in
+    for :class:`HalfEdge` keys (NamedTuples compare and hash equal to
+    plain tuples).
+    """
+    eids = graph.incident_edge_ids(v)
+    degree = len(eids)
+    sides = [(v, p) for p in range(degree)]
+    in_edge, out_edge = inputs.edge, outputs.edge
+    in_half, out_half = inputs.half, outputs.half
     return NodeConfiguration(
         degree=degree,
         node_input=inputs.node(v),
         node_output=outputs.node(v),
-        edge_inputs=tuple(inputs.edge(e) for e in eids),
-        edge_outputs=tuple(outputs.edge(e) for e in eids),
-        half_inputs=tuple(inputs.half(s) for s in sides),
-        half_outputs=tuple(outputs.half(s) for s in sides),
-        loop_ports=tuple(graph.edge(e).is_loop for e in eids),
+        edge_inputs=tuple(in_edge(e) for e in eids),
+        edge_outputs=tuple(out_edge(e) for e in eids),
+        half_inputs=tuple(in_half(s) for s in sides),
+        half_outputs=tuple(out_half(s) for s in sides),
+        loop_ports=tuple(u == v for u in graph.neighbors(v)),
     )
 
 
@@ -86,14 +95,21 @@ def edge_configuration(
 
 
 def _domain_violations(
-    problem: NeLCL, graph: PortGraph, labeling: Labeling, direction: str
+    problem: NeLCL,
+    graph: PortGraph,
+    labeling: Labeling,
+    direction: str,
+    limit: int | None = None,
 ) -> list[Violation]:
+    """Domain-membership violations, stopping once ``limit`` are found."""
     sets = {
         "node": getattr(problem, f"node_{direction}s"),
         "edge": getattr(problem, f"edge_{direction}s"),
         "half": getattr(problem, f"half_{direction}s"),
     }
     out: list[Violation] = []
+    if limit is not None and limit <= 0:
+        return out
     if sets["node"] is not None:
         for v in graph.nodes():
             if labeling.node(v) not in sets["node"]:
@@ -105,6 +121,8 @@ def _domain_violations(
                         f"{sets['node'].name}",
                     )
                 )
+                if limit is not None and len(out) >= limit:
+                    return out
     if sets["edge"] is not None:
         for eid in range(graph.num_edges):
             if labeling.edge(eid) not in sets["edge"]:
@@ -116,6 +134,8 @@ def _domain_violations(
                         f"{sets['edge'].name}",
                     )
                 )
+                if limit is not None and len(out) >= limit:
+                    return out
     if sets["half"] is not None:
         for side in graph.half_edges():
             if labeling.half(side) not in sets["half"]:
@@ -127,6 +147,8 @@ def _domain_violations(
                         f"{sets['half'].name}",
                     )
                 )
+                if limit is not None and len(out) >= limit:
+                    return out
     return out
 
 
@@ -142,40 +164,64 @@ def verify(
 
     Edge constraints are evaluated on both side orders; both must
     accept, which makes asymmetric (hence ill-formed) constraints fail
-    loudly instead of silently depending on storage order.
+    loudly instead of silently depending on storage order.  Problems
+    that declare :attr:`NeLCL.edge_symmetric` vouch for symmetry and
+    skip the second evaluation.  ``max_violations`` caps every pass,
+    including the domain passes.
     """
     violations: list[Violation] = []
 
     def full() -> bool:
         return max_violations is not None and len(violations) >= max_violations
 
-    violations.extend(_domain_violations(problem, graph, outputs, "output"))
-    if check_input_domain:
-        violations.extend(_domain_violations(problem, graph, inputs, "input"))
+    def remaining() -> int | None:
+        # Budget left for the next pass.  A non-positive cap leaves the
+        # domain passes uncapped (historical behavior: ``ok`` still
+        # reflects domain validity even with ``max_violations=0``).
+        if max_violations is None or max_violations <= 0:
+            return None
+        return max_violations - len(violations)
 
-    for v in graph.nodes():
-        if full():
-            break
-        config = node_configuration(graph, v, inputs, outputs)
-        if not problem.node_constraint(config):
-            violations.append(
-                Violation("node", v, f"node constraint of {problem.name} failed")
-            )
-    for eid in range(graph.num_edges):
-        if full():
-            break
-        config = edge_configuration(graph, eid, inputs, outputs)
-        if not problem.edge_constraint(config):
-            violations.append(
-                Violation("edge", eid, f"edge constraint of {problem.name} failed")
-            )
-        elif not problem.edge_constraint(config.flipped()):
-            violations.append(
-                Violation(
-                    "edge",
-                    eid,
-                    f"edge constraint of {problem.name} is asymmetric "
-                    "(accepted one side order, rejected the other)",
+    violations.extend(
+        _domain_violations(problem, graph, outputs, "output", remaining())
+    )
+    if check_input_domain and not full():
+        violations.extend(
+            _domain_violations(problem, graph, inputs, "input", remaining())
+        )
+
+    node_constraint = problem.node_constraint
+    if not full():
+        for v in graph.nodes():
+            config = node_configuration(graph, v, inputs, outputs)
+            if not node_constraint(config):
+                violations.append(
+                    Violation("node", v, f"node constraint of {problem.name} failed")
                 )
-            )
+                if full():
+                    break
+    edge_constraint = problem.edge_constraint
+    check_flip = not problem.edge_symmetric
+    if not full():
+        for eid in range(graph.num_edges):
+            config = edge_configuration(graph, eid, inputs, outputs)
+            if not edge_constraint(config):
+                violations.append(
+                    Violation(
+                        "edge", eid, f"edge constraint of {problem.name} failed"
+                    )
+                )
+                if full():
+                    break
+            elif check_flip and not edge_constraint(config.flipped()):
+                violations.append(
+                    Violation(
+                        "edge",
+                        eid,
+                        f"edge constraint of {problem.name} is asymmetric "
+                        "(accepted one side order, rejected the other)",
+                    )
+                )
+                if full():
+                    break
     return Verdict(ok=not violations, violations=violations)

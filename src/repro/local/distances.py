@@ -8,7 +8,6 @@ needed (see DESIGN.md, "Rounds are measured, not asserted").
 
 from __future__ import annotations
 
-from collections import deque
 from typing import Callable, Iterable
 
 from repro.local.graphs import PortGraph
@@ -31,17 +30,17 @@ def bfs_distances(
     graph: PortGraph, source: int, max_radius: int | None = None
 ) -> dict[int, int]:
     """Map every node within ``max_radius`` of ``source`` to its distance."""
+    off, nbr, _, _ = graph.csr()
     dist = {source: 0}
-    frontier = deque([source])
-    while frontier:
-        v = frontier.popleft()
+    queue = [source]
+    for v in queue:  # appending while iterating keeps FIFO order
         d = dist[v]
         if max_radius is not None and d >= max_radius:
             continue
-        for u in graph.neighbors(v):
+        for u in nbr[off[v] : off[v + 1]]:
             if u not in dist:
                 dist[u] = d + 1
-                frontier.append(u)
+                queue.append(u)
     return dist
 
 
@@ -56,27 +55,28 @@ def multi_source_bfs(
     smallest-eid tie-break, which makes the forest a pure function of the
     graph and source order.
     """
+    off, nbr, _, eids = graph.csr()
     dist: dict[int, int] = {}
     parent_edge: dict[int, int] = {}
-    frontier = deque()
+    queue: list[int] = []
     for s in sources:
         if s not in dist:
             dist[s] = 0
-            frontier.append(s)
-    while frontier:
-        v = frontier.popleft()
+            queue.append(s)
+    for v in queue:
         d = dist[v]
-        for port in range(graph.degree(v)):
-            u = graph.neighbor(v, port)
+        for slot in range(off[v], off[v + 1]):
+            u = nbr[slot]
             if u not in dist:
                 dist[u] = d + 1
-                parent_edge[u] = graph.edge_id_at(v, port)
-                frontier.append(u)
+                parent_edge[u] = eids[slot]
+                queue.append(u)
     return dist, parent_edge
 
 
 def connected_components(graph: PortGraph) -> list[list[int]]:
     """Connected components as sorted node lists, ordered by minimum node."""
+    off, nbr, _, _ = graph.csr()
     seen = [False] * graph.num_nodes
     components = []
     for start in graph.nodes():
@@ -84,14 +84,11 @@ def connected_components(graph: PortGraph) -> list[list[int]]:
             continue
         seen[start] = True
         comp = [start]
-        frontier = deque([start])
-        while frontier:
-            v = frontier.popleft()
-            for u in graph.neighbors(v):
+        for v in comp:  # comp doubles as the BFS queue
+            for u in nbr[off[v] : off[v + 1]]:
                 if not seen[u]:
                     seen[u] = True
                     comp.append(u)
-                    frontier.append(u)
         components.append(sorted(comp))
     return components
 
@@ -126,6 +123,7 @@ def girth(graph: PortGraph) -> int | None:
         return 1
     if graph.has_parallel_edges():
         return 2
+    off, nbr, _, eids = graph.csr()
     best: int | None = None
     for source in graph.nodes():
         # BFS from source; first cross edge yields a cycle through source's
@@ -133,20 +131,20 @@ def girth(graph: PortGraph) -> int | None:
         # that is tight when minimized over all sources).
         dist = {source: 0}
         parent = {source: -1}
-        frontier = deque([source])
-        while frontier:
-            v = frontier.popleft()
-            if best is not None and dist[v] * 2 >= best:
+        queue = [source]
+        for v in queue:
+            d = dist[v]
+            if best is not None and d * 2 >= best:
                 continue
-            for port in range(graph.degree(v)):
-                u = graph.neighbor(v, port)
-                eid = graph.edge_id_at(v, port)
+            for slot in range(off[v], off[v + 1]):
+                u = nbr[slot]
+                eid = eids[slot]
                 if u not in dist:
-                    dist[u] = dist[v] + 1
+                    dist[u] = d + 1
                     parent[u] = eid
-                    frontier.append(u)
+                    queue.append(u)
                 elif parent[v] != eid:
-                    length = dist[u] + dist[v] + 1
+                    length = dist[u] + d + 1
                     if best is None or length < best:
                         best = length
     return best
@@ -165,23 +163,23 @@ def cycle_containment_radius(
     ``max_radius`` (or at all).
     """
     # A self-loop or parallel pair at distance d is found at radius d (+1).
+    off, nbr, _, eids = graph.csr()
     dist = {v: 0}
     parent = {v: -1}
-    frontier = deque([v])
-    while frontier:
-        x = frontier.popleft()
+    queue = [v]
+    for x in queue:
         d = dist[x]
         if max_radius is not None and d > max_radius:
             return None
-        for port in range(graph.degree(x)):
-            u = graph.neighbor(x, port)
-            eid = graph.edge_id_at(x, port)
+        for slot in range(off[x], off[x + 1]):
+            u = nbr[slot]
+            eid = eids[slot]
             if u == x:  # self-loop: cycle within radius d
                 return d
             if u not in dist:
                 dist[u] = d + 1
                 parent[u] = eid
-                frontier.append(u)
+                queue.append(u)
             elif parent[x] != eid:
                 # Non-tree edge between x (depth d) and u (depth dist[u]):
                 # the cycle through the two BFS branches is contained in
@@ -212,15 +210,17 @@ def induced_subgraph(
     keep = sorted(set(nodes))
     mapping = {v: i for i, v in enumerate(keep)}
     keep_set = set(keep)
-    # Assign new ports per node in original port order.
-    new_port: dict[HalfEdge, int] = {}
+    # Assign new ports per node in original port order.  Plain (v, port)
+    # tuples hash and compare equal to HalfEdge, so the flat scan and the
+    # edge-object loop below share one dict.
+    off, nbr, _, _ = graph.csr()
+    new_port: dict[tuple[int, int], int] = {}
     for v in keep:
         next_p = 0
-        for port in range(graph.degree(v)):
-            edge = graph.edge_at(v, port)
-            other = edge.other_side(HalfEdge(v, port))
-            if other.node in keep_set:
-                new_port[HalfEdge(v, port)] = next_p
+        base = off[v]
+        for port, u in enumerate(nbr[base : off[v + 1]]):
+            if u in keep_set:
+                new_port[(v, port)] = next_p
                 next_p += 1
     edges = []
     for edge in graph.edges():

@@ -15,10 +15,29 @@ representation of exactly that object:
 Ports are 0-based in code (the paper's ``Port_1..Port_d`` maps to ports
 ``0..d-1``); all public formatting uses the 0-based convention
 consistently.
+
+Two access layers
+-----------------
+
+``PortGraph`` exposes the same immutable topology through two layers:
+
+* The **object layer** — :class:`Edge` / :class:`HalfEdge` values from
+  ``edge``, ``edges``, ``incident_edges`` — is the readable API for
+  construction, formatting, and anything off the hot path.
+* The **flat incidence core** — CSR-style arrays built once at freeze
+  time and returned by :meth:`PortGraph.csr` (per-port neighbor, peer
+  port, and edge-id tables with per-node offsets, plus the cached
+  :attr:`PortGraph.degrees` list) — backs ``endpoint``, ``neighbor``,
+  ``neighbors``, and every hot loop in the simulator, BFS, and verifier
+  with O(1) index reads and no per-lookup object allocation.
+
+Both layers are views of the same frozen arrays, so self-loops and
+parallel edges behave identically through either.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Iterator, NamedTuple, Sequence
 
 __all__ = ["HalfEdge", "Edge", "PortGraph"]
@@ -59,6 +78,22 @@ class Edge(NamedTuple):
         raise ValueError(f"{side} is not an endpoint of edge {self.eid}")
 
 
+class _DeprecatedCallableInt(int):
+    """Shim for ``PortGraph.min_degree`` callers from before it became a
+    property: the value still answers ``()`` (with a DeprecationWarning)."""
+
+    __slots__ = ()
+
+    def __call__(self) -> int:
+        warnings.warn(
+            "PortGraph.min_degree is now a property; use `graph.min_degree` "
+            "instead of `graph.min_degree()`",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return int(self)
+
+
 class PortGraph:
     """An immutable port-numbered multigraph.
 
@@ -66,7 +101,19 @@ class PortGraph:
     the convenience classmethod :meth:`from_edge_list`.
     """
 
-    __slots__ = ("_num_nodes", "_edges", "_adj", "_frozen")
+    __slots__ = (
+        "_num_nodes",
+        "_edges",
+        "_adj",
+        "_frozen",
+        "_deg",
+        "_off",
+        "_nbr",
+        "_peer",
+        "_eids",
+        "_min_degree",
+        "_max_degree",
+    )
 
     def __init__(self, num_nodes: int, edges: Sequence[tuple[HalfEdge, HalfEdge]]):
         if num_nodes < 0:
@@ -104,6 +151,37 @@ class PortGraph:
                     f"node {v} has non-contiguous ports {sorted(ports)}"
                 )
             self._adj[v] = [ports[p] for p in range(degree)]
+        # Flat incidence core (CSR layout): port slot (v, p) lives at flat
+        # index _off[v] + p; _nbr holds the node across the edge, _peer the
+        # port it arrives on, _eids the edge id.  A self-loop on ports p, q
+        # of v fills both slots pointing at each other, so the tables keep
+        # exact multigraph semantics.
+        deg = [len(ports) for ports in self._adj]
+        off = [0] * (num_nodes + 1)
+        for v in range(num_nodes):
+            off[v + 1] = off[v] + deg[v]
+        total = off[num_nodes]
+        nbr = [0] * total
+        peer = [0] * total
+        eids = [0] * total
+        for edge in self._edges:
+            eid = edge.eid
+            (a_node, a_port), (b_node, b_port) = edge.a, edge.b
+            i = off[a_node] + a_port
+            j = off[b_node] + b_port
+            nbr[i] = b_node
+            peer[i] = b_port
+            eids[i] = eid
+            nbr[j] = a_node
+            peer[j] = a_port
+            eids[j] = eid
+        self._deg = deg
+        self._off = off
+        self._nbr = nbr
+        self._peer = peer
+        self._eids = eids
+        self._min_degree = _DeprecatedCallableInt(min(deg, default=0))
+        self._max_degree = max(deg, default=0)
         self._frozen = True
 
     # -- construction helpers -------------------------------------------------
@@ -134,18 +212,43 @@ class PortGraph:
         return len(self._edges)
 
     def degree(self, v: int) -> int:
-        return len(self._adj[v])
+        return self._deg[v]
+
+    @property
+    def degrees(self) -> list[int]:
+        """Per-node degree table (shared, frozen — do not mutate)."""
+        return self._deg
 
     @property
     def max_degree(self) -> int:
-        if self._num_nodes == 0:
-            return 0
-        return max(len(ports) for ports in self._adj)
+        return self._max_degree
 
+    @property
     def min_degree(self) -> int:
-        if self._num_nodes == 0:
-            return 0
-        return min(len(ports) for ports in self._adj)
+        """Minimum degree (0 for the empty graph).
+
+        The value tolerates the legacy ``graph.min_degree()`` call form
+        with a DeprecationWarning.
+        """
+        return self._min_degree
+
+    # -- flat incidence core -----------------------------------------------------
+
+    def csr(self) -> tuple[list[int], list[int], list[int], list[int]]:
+        """The flat incidence tables ``(offsets, neighbors, peer_ports,
+        edge_ids)``.
+
+        Port slot ``(v, p)`` lives at flat index ``offsets[v] + p``;
+        ``offsets[num_nodes]`` equals ``2 * num_edges``.  The arrays are
+        shared with the graph and must not be mutated.  Hot loops unpack
+        them into locals; everything else should prefer the object API.
+        """
+        return self._off, self._nbr, self._peer, self._eids
+
+    def incident_edge_ids(self, v: int) -> list[int]:
+        """Edge ids at ``v`` in port order (shared, frozen — do not
+        mutate); a self-loop appears twice."""
+        return self._adj[v]
 
     # -- iteration ---------------------------------------------------------------
 
@@ -182,21 +285,30 @@ class PortGraph:
         For a self-loop on ports ``p`` and ``q`` of ``v``,
         ``endpoint(v, p)`` is ``HalfEdge(v, q)``.
         """
-        edge = self._edges[self._adj[v][port]]
-        return edge.other_side(HalfEdge(v, port))
+        degree = self._deg[v]
+        if port < 0:
+            port += degree
+        if not 0 <= port < degree:
+            raise IndexError("list index out of range")
+        i = self._off[v] + port
+        return HalfEdge(self._nbr[i], self._peer[i])
 
     def neighbor(self, v: int, port: int) -> int:
-        return self.endpoint(v, port).node
+        degree = self._deg[v]
+        if port < 0:
+            port += degree
+        if not 0 <= port < degree:
+            raise IndexError("list index out of range")
+        return self._nbr[self._off[v] + port]
 
-    def neighbors(self, v: int) -> Iterator[int]:
+    def neighbors(self, v: int) -> list[int]:
         """Neighbors of ``v`` with multiplicity, in port order."""
-        for port in range(len(self._adj[v])):
-            yield self.endpoint(v, port).node
+        return self._nbr[self._off[v] : self._off[v + 1]]
 
-    def incident_edges(self, v: int) -> Iterator[Edge]:
+    def incident_edges(self, v: int) -> list[Edge]:
         """Incident edges in port order; a self-loop appears twice."""
-        for eid in self._adj[v]:
-            yield self._edges[eid]
+        edges = self._edges
+        return [edges[eid] for eid in self._adj[v]]
 
     def half_edge_of_edge(self, v: int, eid: int) -> HalfEdge:
         """The half-edge of ``eid`` at node ``v`` (first port for loops)."""

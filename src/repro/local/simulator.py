@@ -73,27 +73,35 @@ class SyncEngine:
 
     def run(self, max_rounds: int = 10_000) -> EngineResult:
         graph = self.graph
-        halted = [False] * graph.num_nodes
+        nodes = self.nodes
+        num_nodes = graph.num_nodes
+        # Hot loop: read topology through the flat incidence core so a
+        # delivery is two index reads and a store, with no Edge/HalfEdge
+        # objects on the path.
+        off, nbr, peer, _ = graph.csr()
+        deg = graph.degrees
+        halted = [False] * num_nodes
         trace: list[MessageRound] = []
         rounds = 0
         for round_index in range(max_rounds):
             outboxes: list[list[Any] | None] = []
+            append_outbox = outboxes.append
             active = 0
-            for v, node in enumerate(self.nodes):
+            for v, node in enumerate(nodes):
                 if halted[v]:
-                    outboxes.append(None)
+                    append_outbox(None)
                     continue
                 out = node.outgoing(round_index)
                 if out is None:
                     halted[v] = True
-                    outboxes.append(None)
+                    append_outbox(None)
                     continue
-                if len(out) != graph.degree(v):
+                if len(out) != deg[v]:
                     raise ValueError(
                         f"node {v} produced {len(out)} messages for "
-                        f"{graph.degree(v)} ports"
+                        f"{deg[v]} ports"
                     )
-                outboxes.append(out)
+                append_outbox(out)
                 active += 1
             if active == 0:
                 break
@@ -106,19 +114,19 @@ class SyncEngine:
             # on large graphs with early halters the skipped allocations
             # dominate the per-round cost.
             inboxes: list[list[Any] | None] = [
-                None if halted[v] else [None] * graph.degree(v)
-                for v in graph.nodes()
+                None if halted[v] else [None] * deg[v]
+                for v in range(num_nodes)
             ]
-            for v in graph.nodes():
-                out = outboxes[v]
+            for v, out in enumerate(outboxes):
                 if out is None:
                     continue
-                for port in range(graph.degree(v)):
-                    target = graph.endpoint(v, port)
-                    inbox = inboxes[target.node]
+                base = off[v]
+                for port, message in enumerate(out):
+                    slot = base + port
+                    inbox = inboxes[nbr[slot]]
                     if inbox is not None:
-                        inbox[target.port] = out[port]
-            for v, node in enumerate(self.nodes):
+                        inbox[peer[slot]] = message
+            for v, node in enumerate(nodes):
                 if not halted[v]:
                     node.receive(round_index, inboxes[v])
         else:

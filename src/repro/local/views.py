@@ -13,8 +13,6 @@ have needed; either way the number lands in the same meter.
 
 from __future__ import annotations
 
-from collections import deque
-
 from repro.local.distances import induced_subgraph
 from repro.local.graphs import PortGraph
 
@@ -34,16 +32,29 @@ class View:
         self.center = center
         self.radius = radius
         self.dist = dist
+        self._nodes: list[int] | None = None
+        self._boundary: list[int] | None = None
 
     def __contains__(self, v: int) -> bool:
         return v in self.dist
 
     def nodes(self) -> list[int]:
-        return sorted(self.dist)
+        """Sorted view nodes (cached — treat the list as read-only)."""
+        if self._nodes is None:
+            self._nodes = sorted(self.dist)
+        return self._nodes
 
     def boundary(self) -> list[int]:
-        """Nodes at exactly the view radius (where knowledge ends)."""
-        return sorted(v for v, d in self.dist.items() if d == self.radius)
+        """Nodes at exactly the view radius (where knowledge ends).
+
+        Cached like :meth:`nodes`; treat the list as read-only.
+        """
+        if self._boundary is None:
+            radius = self.radius
+            self._boundary = sorted(
+                v for v, d in self.dist.items() if d == radius
+            )
+        return self._boundary
 
     def subgraph(self) -> tuple[PortGraph, dict[int, int]]:
         return induced_subgraph(self._graph, self.dist)
@@ -55,8 +66,9 @@ class ViewOracle:
     def __init__(self, graph: PortGraph):
         self.graph = graph
         self._radius_used = [0] * graph.num_nodes
-        # Incremental BFS state per node: (dist map, current frontier, radius)
-        self._state: dict[int, tuple[dict[int, int], deque, int]] = {}
+        # Incremental BFS state per node: (dist map, current frontier,
+        # depth the BFS has been grown to)
+        self._state: dict[int, tuple[dict[int, int], list[int], int]] = {}
 
     # -- metering ------------------------------------------------------------
 
@@ -79,29 +91,44 @@ class ViewOracle:
 
     # -- view service -----------------------------------------------------------
 
-    def _grow_to(self, v: int, radius: int) -> dict[int, int]:
+    def _grow_to(self, v: int, radius: int) -> tuple[dict[int, int], int]:
+        """Grow the cached BFS of ``v`` to ``radius``.
+
+        Returns ``(dist, grown)`` where ``grown`` is the BFS depth the
+        cache actually reached (every entry of ``dist`` is at distance
+        ``<= grown``; ``grown`` may exceed ``radius`` when a previous,
+        larger request already expanded the ball).
+        """
         state = self._state.get(v)
         if state is None:
-            state = ({v: 0}, deque([v]), 0)
+            state = ({v: 0}, [v], 0)
             self._state[v] = state
         dist, frontier, current = state
+        off, nbr, _, _ = self.graph.csr()
         while current < radius and frontier:
-            next_frontier = deque()
+            next_frontier = []
+            push = next_frontier.append
             for x in frontier:
-                for u in self.graph.neighbors(x):
+                for u in nbr[off[x] : off[x + 1]]:
                     if u not in dist:
                         dist[u] = current + 1
-                        next_frontier.append(u)
+                        push(u)
             frontier = next_frontier
             current += 1
-        self._state[v] = (dist, frontier, max(current, radius))
-        return dist
+        self._state[v] = (dist, frontier, current)
+        return dist, current
 
     def view(self, v: int, radius: int) -> View:
         """The radius-``radius`` view of ``v``; meters the access."""
         self.charge(v, radius)
-        dist = self._grow_to(v, radius)
-        trimmed = {u: d for u, d in dist.items() if d <= radius}
+        dist, grown = self._grow_to(v, radius)
+        if grown > radius:
+            # The cached ball is bigger than the request: filter it down.
+            trimmed = {u: d for u, d in dist.items() if d <= radius}
+        else:
+            # Everything cached is within the request; a plain copy keeps
+            # the View isolated from later growth of the shared BFS state.
+            trimmed = dict(dist)
         return View(self.graph, v, radius, trimmed)
 
     def forget(self, v: int) -> None:

@@ -49,6 +49,7 @@ class VertexColoring:
             node_constraint=node_ok,
             edge_constraint=edge_ok,
             node_outputs=palette,
+            edge_symmetric=True,
             description=f"proper vertex coloring with {self.num_colors} colors",
             metadata={"num_colors": self.num_colors},
         )

@@ -43,6 +43,7 @@ class ThreeColoringCycles:
             node_constraint=node_ok,
             edge_constraint=base.edge_constraint,
             node_outputs=base.node_outputs,
+            edge_symmetric=True,
             description="proper 3-coloring of paths and cycles",
             metadata={"max_degree": 2},
         )

@@ -80,6 +80,7 @@ class MaximalMatching:
             node_constraint=node_ok,
             edge_constraint=edge_ok,
             half_outputs=_HALF,
+            edge_symmetric=True,
             description="maximal matching (no two matched edges share a node)",
         )
 

@@ -71,6 +71,7 @@ class MaximalIndependentSet:
             edge_constraint=edge_ok,
             node_outputs=_NODE,
             half_outputs=_HALF,
+            edge_symmetric=True,
             description="independent dominating set (MIS)",
         )
 

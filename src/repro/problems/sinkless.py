@@ -55,6 +55,7 @@ class SinklessOrientation:
             node_outputs=_SILENT,
             edge_outputs=_SILENT,
             half_outputs=_HALF_OUTPUTS,
+            edge_symmetric=True,
             description=(
                 "orient every edge so that every node of degree >= "
                 f"{exempt_below} has an outgoing edge"

@@ -22,6 +22,7 @@ class ConstantLabelProblem:
             name=f"constant({label})",
             node_constraint=lambda cfg: cfg.node_output == label,
             edge_constraint=lambda cfg: True,
+            edge_symmetric=True,
             node_outputs=LabelSet("constant", {label}),
             description="the trivial LCL: output a fixed label",
         )
@@ -35,6 +36,7 @@ class ParityOfDegreeProblem:
             name="degree-parity",
             node_constraint=lambda cfg: cfg.node_output == cfg.degree % 2,
             edge_constraint=lambda cfg: True,
+            edge_symmetric=True,
             node_outputs=LabelSet("parity", {0, 1}),
             description="label each node with deg(v) mod 2",
         )

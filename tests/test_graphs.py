@@ -112,7 +112,17 @@ class TestQueries:
     def test_min_max_degree(self):
         graph = PortGraph.from_edge_list(3, [(0, 1), (0, 2)])
         assert graph.max_degree == 2
-        assert graph.min_degree() == 1
+        assert graph.min_degree == 1
+
+    def test_min_degree_call_form_deprecated(self):
+        graph = PortGraph.from_edge_list(3, [(0, 1), (0, 2)])
+        with pytest.warns(DeprecationWarning):
+            assert graph.min_degree() == 1
+
+    def test_degree_caches_on_empty_graph(self):
+        graph = PortGraph(0, [])
+        assert graph.max_degree == 0
+        assert graph.min_degree == 0
 
 
 class TestProperties:

@@ -63,25 +63,34 @@ class TestViewOracle:
 
 
 class _FloodNode:
-    """Counts rounds until it has heard from everyone (diameter probe)."""
+    """Counts rounds until it has heard from everyone (diameter probe).
+
+    Floods deltas: each round a node forwards only what it learned the
+    round before.  An id at distance d still arrives in exactly d
+    rounds, so heard sets, halting rounds, and results are identical to
+    re-broadcasting the full heard set — but messages stay
+    frontier-sized instead of ball-sized.
+    """
 
     def __init__(self, v: int, instance: Instance):
         self.v = v
         self.n = instance.graph.num_nodes
         self.degree = instance.graph.degree(v)
         self.heard = {v}
+        self.fresh = frozenset((v,))
         self.done_at: int | None = 0 if self.n == 1 else None
 
     def outgoing(self, round_index):
         if self.done_at is not None:
             return None
-        return [frozenset(self.heard)] * self.degree
+        return [self.fresh] * self.degree
 
     def receive(self, round_index, inbox):
-        for message in inbox:
-            if message:
-                self.heard |= message
-        if len(self.heard) == self.n:
+        heard = self.heard
+        fresh = set().union(*(m for m in inbox if m)) - heard
+        heard |= fresh
+        self.fresh = frozenset(fresh)
+        if len(heard) == self.n:
             self.done_at = round_index + 1
 
     def result(self):
