@@ -1,0 +1,114 @@
+"""E10 — runtime dispatch overhead: registry vs direct solver calls.
+
+The runtime's promise is that the registry-driven path
+(``Runtime.solve``: catalog lookup, factory instantiation, adapter
+dispatch) costs nothing measurable on top of calling the solver
+directly.  This bench times both paths on identical prebuilt instances
+and asserts the relative overhead stays under 5% — instance building
+and verification are excluded from both sides, so the comparison
+isolates exactly the dispatch machinery the registry added.
+
+Emits ``benchmarks/BENCH_runtime.json`` via the shared ``report_json``
+hook for cross-PR tracking.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import report, report_json
+from repro.analysis import render_table
+from repro.runtime import Runtime, registry
+
+# (solver, family, n): two real workloads and a near-trivial solver —
+# the cheap case is where fixed dispatch costs would show up.
+CASES = [
+    ("sinkless-det", "cubic", 256),
+    ("mis-color-classes", "cubic", 256),
+    ("constant", "cycle", 256),
+]
+# Each timing window targets this much wall-clock so cheap solvers get
+# enough calls for a stable per-call figure.
+WINDOW_S = 0.25
+
+
+def _calibrate(fn) -> int:
+    """Loop count putting one timing window at ~WINDOW_S seconds."""
+    start = time.perf_counter()
+    fn()
+    est = max(time.perf_counter() - start, 1e-7)
+    return max(5, min(10_000, int(WINDOW_S / est)))
+
+
+def _interleaved_best(loops: int, fn_a, fn_b) -> tuple[float, float]:
+    """Best-of-5 per-call times for two functions, windows interleaved.
+
+    Alternating the timing windows makes slow allocator/GC drift over
+    the run hit both paths equally instead of being attributed to
+    whichever ran second.
+    """
+    best_a = best_b = float("inf")
+    for _ in range(5):
+        start = time.perf_counter()
+        for _ in range(loops):
+            fn_a()
+        best_a = min(best_a, (time.perf_counter() - start) / loops)
+        start = time.perf_counter()
+        for _ in range(loops):
+            fn_b()
+        best_b = min(best_b, (time.perf_counter() - start) / loops)
+    return best_a, best_b
+
+
+def test_runtime_dispatch_overhead():
+    runtime = Runtime()
+    rows = []
+    payload = {}
+    worst = 0.0
+    for solver_name, family_name, n in CASES:
+        instance = runtime.build_instance(family_name, n, seed=0)
+        solver_factory = registry.solver(solver_name).factory
+
+        def direct():
+            solver_factory().solve(instance)
+
+        def dispatched():
+            runtime.solve(solver_name, instance)
+
+        loops = _calibrate(direct)
+        direct_s, dispatched_s = _interleaved_best(loops, direct, dispatched)
+        overhead_pct = (dispatched_s - direct_s) / direct_s * 100
+        worst = max(worst, overhead_pct)
+        rows.append(
+            [
+                f"{solver_name}@{family_name}",
+                n,
+                round(direct_s * 1e6, 1),
+                round(dispatched_s * 1e6, 1),
+                f"{overhead_pct:+.2f}%",
+            ]
+        )
+        payload[f"{solver_name}@{family_name}/n={n}"] = {
+            "n": n,
+            "loops": loops,
+            "direct_us": direct_s * 1e6,
+            "dispatched_us": dispatched_s * 1e6,
+            "overhead_pct": overhead_pct,
+        }
+
+    report(
+        render_table(
+            ["case", "n", "direct us/call", "runtime us/call", "overhead"],
+            rows,
+            title=(
+                "E10 registry dispatch overhead (Runtime.solve vs direct)\n"
+                f"    worst case: {worst:+.2f}% (budget: < 5%)"
+            ),
+        )
+    )
+    report_json(
+        "runtime_dispatch",
+        {"cases": payload, "worst_overhead_pct": worst, "window_s": WINDOW_S},
+        file="BENCH_runtime.json",
+    )
+    assert worst < 5.0, f"registry dispatch overhead {worst:.2f}% exceeds 5%"

@@ -18,26 +18,29 @@ import sys
 import pytest
 
 _REPORTS: list[str] = []
-_JSON_REPORTS: dict[str, object] = {}
+# filename -> {key -> payload}; each file is one perf-trajectory JSON.
+_JSON_REPORTS: dict[str, dict[str, object]] = {}
 _RESULTS_FILE = os.path.join(os.path.dirname(__file__), "results.txt")
-_JSON_FILE = os.path.join(os.path.dirname(__file__), "BENCH_incidence.json")
+_DEFAULT_JSON = "BENCH_incidence.json"
 
 
 def report(text: str) -> None:
     _REPORTS.append(text)
 
 
-def report_json(key: str, payload: object) -> None:
+def report_json(key: str, payload: object, file: str = _DEFAULT_JSON) -> None:
     """Collect a machine-readable benchmark record.
 
-    Everything registered here is written to ``BENCH_incidence.json``
-    at the end of the run, so the perf trajectory of the incidence core
-    can be tracked across PRs without parsing the human tables.
+    Everything registered here is written to ``benchmarks/<file>`` at
+    the end of the run (``BENCH_incidence.json`` by default;
+    ``bench_runtime_dispatch`` writes ``BENCH_runtime.json``), so perf
+    trajectories can be tracked across PRs without parsing the human
+    tables.
     """
-    _JSON_REPORTS[key] = payload
+    _JSON_REPORTS.setdefault(file, {})[key] = payload
 
 
-def _merged_reports() -> tuple[list[str], dict[str, object]]:
+def _merged_reports() -> tuple[list[str], dict[str, dict[str, object]]]:
     """Reports from this module AND its twin import instance.
 
     pytest loads this file as module ``conftest`` while the bench files
@@ -46,11 +49,12 @@ def _merged_reports() -> tuple[list[str], dict[str, object]]:
     what the benchmarks registered.
     """
     reports = list(_REPORTS)
-    json_reports = dict(_JSON_REPORTS)
+    json_reports = {file: dict(keys) for file, keys in _JSON_REPORTS.items()}
     twin = sys.modules.get("benchmarks.conftest")
     if twin is not None and getattr(twin, "_REPORTS", None) is not _REPORTS:
         reports += twin._REPORTS
-        json_reports.update(twin._JSON_REPORTS)
+        for file, keys in twin._JSON_REPORTS.items():
+            json_reports.setdefault(file, {}).update(keys)
     return reports, json_reports
 
 
@@ -67,17 +71,18 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
                 handle.write("\n\n".join(reports) + "\n")
         except OSError:  # pragma: no cover - the report is best-effort
             pass
-    if json_reports:
+    for file, keys in json_reports.items():
         payload = {
             "python": platform.python_version(),
             "machine": platform.machine(),
-            **json_reports,
+            **keys,
         }
+        path = os.path.join(os.path.dirname(__file__), file)
         try:
-            with open(_JSON_FILE, "w") as handle:
+            with open(path, "w") as handle:
                 json.dump(payload, handle, indent=2, sort_keys=True)
                 handle.write("\n")
-            terminalreporter.write_line(f"wrote {_JSON_FILE}")
+            terminalreporter.write_line(f"wrote {path}")
         except OSError:  # pragma: no cover - the report is best-effort
             pass
 

@@ -16,6 +16,11 @@ The package provides:
   family Pi_i of Theorem 11.
 * ``repro.generators`` / ``repro.analysis`` — instances, n-sweeps, and
   growth-shape fitting used to regenerate the paper's landscape.
+* ``repro.runtime`` — the registry-driven execution layer: catalogs of
+  problems, solvers, and families, and the unified ``Runtime`` driver
+  every (problem, solver, family) trial runs through.
+* ``repro.engine`` — parallel, cached experiment orchestration over
+  registry-generated specs (``python -m repro.engine``).
 """
 
 __version__ = "1.0.0"

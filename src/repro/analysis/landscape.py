@@ -16,7 +16,12 @@ from repro.analysis.sweep import Sweep
 from repro.analysis.tables import render_table
 from repro.local.algorithm import Instance, LocalAlgorithm
 
-__all__ = ["LandscapeRow", "measure_row", "render_landscape"]
+__all__ = [
+    "LandscapeRow",
+    "measure_row",
+    "render_landscape",
+    "rows_from_engine_reports",
+]
 
 
 @dataclass
@@ -37,6 +42,8 @@ class LandscapeRow:
     def _measured(self, sweep: Sweep | None) -> str:
         if sweep is None:
             return "-"
+        if len(sweep.points) < 3:
+            return "?"  # growth fitting needs at least three sizes
         fit = best_fit(sweep.ns(), sweep.means(), self.candidates)
         return fit.name
 
@@ -84,6 +91,51 @@ def measure_row(
         rand_sweep=rand_sweep,
         candidates=candidates,
     )
+
+
+def rows_from_engine_reports(reports: Sequence) -> list[LandscapeRow]:
+    """Fold registry-generated engine reports into Figure 1 rows.
+
+    Accepts the :class:`~repro.engine.runner.EngineReport` list of the
+    ``landscape`` experiment (spec names shaped
+    ``landscape/<problem>/<solver>@<family>``) and produces one row per
+    (problem, family) pair: the deterministic and randomized columns
+    are the first registered solver of each kind, in name order — the
+    same convention Figure 1 uses (one representative algorithm per
+    cell).  Reports with foreign spec names are ignored.
+    """
+    from repro.runtime import registry
+
+    solvers = registry.solvers()
+    problems = registry.problems()
+    cells: dict[tuple[str, str], dict[str, Sweep]] = {}
+    for report in reports:
+        parts = report.spec.name.split("/")
+        if len(parts) != 3 or "@" not in parts[2]:
+            continue
+        problem_name = parts[1]
+        solver_name, _, family_name = parts[2].partition("@")
+        solver_info = solvers.get(solver_name)
+        if solver_info is None or problem_name not in problems:
+            continue
+        kind = "rand" if solver_info.randomized else "det"
+        cell = cells.setdefault((problem_name, family_name), {})
+        # First solver of the kind in name order wins; reports arrive
+        # in registry (name-sorted) order, so first seen is first named.
+        cell.setdefault(kind, report.sweep)
+    rows = []
+    for (problem_name, family_name), cell in sorted(cells.items()):
+        info = problems[problem_name]
+        rows.append(
+            LandscapeRow(
+                problem=f"{problem_name} @ {family_name}",
+                paper_det=info.paper_det,
+                paper_rand=info.paper_rand,
+                det_sweep=cell.get("det"),
+                rand_sweep=cell.get("rand"),
+            )
+        )
+    return rows
 
 
 def render_landscape(rows: Sequence[LandscapeRow]) -> str:

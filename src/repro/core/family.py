@@ -105,3 +105,81 @@ def pi_family_level(index: int, delta: int = 3) -> FamilyLevel:
     """The single level Pi_index (hard instances come from
     :func:`repro.generators.hard.padded_hard_instance`)."""
     return build_family(index, delta)[-1]
+
+
+# -- runtime registrations (the Pi_2 landscape row) ---------------------
+#
+# The padded level Pi_2 = pad(sinkless-orientation, log-gadgets) is the
+# paper's headline construction; registering it (problem, both solvers,
+# and the height-graded instance family) puts the Theorem 1 overhead
+# measurement into the same registry-driven cross-product as the base
+# problems.  Instances are graded by gadget *height* h, not node count:
+# the padded graph on a 16-node cubic base has 16 * (2^(h+1) - 1) + 16
+# nodes, so sweeps pass heights and report the true padded sizes.
+
+from repro.runtime.registry import register_family, register_problem, register_solver
+
+
+@register_problem(
+    "padded-sinkless",
+    description="Pi_2: sinkless orientation padded with log-gadgets",
+    paper_det="Theta(log^2 n)",
+    paper_rand="Theta(log n loglog n)",
+)
+def _padded_sinkless_problem() -> PaddedProblem:
+    return PaddedProblem(SinklessOrientation().problem(), LogGadgetFamily(3))
+
+
+def padded_sinkless_solver() -> PaddedSolver:
+    """The registered deterministic Pi_2 solver (also a legacy spec ref)."""
+    return PaddedSolver(_padded_sinkless_problem(), DeterministicSinklessSolver())
+
+
+register_solver(
+    "padded-sinkless-det",
+    problem="padded-sinkless",
+    families=("padded-sinkless",),
+    randomized=False,
+    description="the Lemma 4 generic algorithm over the deterministic base",
+)(padded_sinkless_solver)
+
+register_solver(
+    "padded-sinkless-rand",
+    problem="padded-sinkless",
+    families=("padded-sinkless",),
+    randomized=True,
+    description="the Lemma 4 generic algorithm over the randomized base",
+)(lambda: PaddedSolver(_padded_sinkless_problem(), RandomizedSinklessSolver()))
+
+
+@register_family(
+    "padded-sinkless",
+    description="16-node cubic base padded with height-h gadgets",
+    max_degree=5,
+    min_degree=1,
+    size_kind="height",
+    test_sizes=(2,),
+    grid=lambda max_n: tuple(
+        h for h in range(2, 8) if 16 * (2 ** (h + 1)) <= max_n
+    ),
+)
+def padded_sinkless_instance(height: int, seed: int):
+    """A 16-node cubic base padded with gadgets of the given height."""
+    import random as _random
+
+    from repro.core.padding import pad_graph
+    from repro.gadgets.build import build_gadget
+    from repro.generators.regular import random_regular
+    from repro.local.identifiers import sequential_ids
+    from repro.util.rng import NodeRng
+
+    base = random_regular(16, 3, _random.Random(2 + seed))
+    gadgets = [build_gadget(3, height) for _ in base.nodes()]
+    padded = pad_graph(base, gadgets)
+    return Instance(
+        padded.graph,
+        sequential_ids(padded.graph.num_nodes),
+        padded.inputs,
+        None,
+        NodeRng(seed),
+    )

@@ -1,14 +1,18 @@
-"""``python -m repro.engine`` — run a named experiment from the shell.
+"""``python -m repro.engine`` — run, list, and describe experiments.
 
-Examples::
+Subcommands::
 
-    python -m repro.engine --experiment sinkless --workers 4
-    python -m repro.engine --experiment landscape --max-n 512 --json out.json
-    python -m repro.engine --experiment sinkless --workers 2 --max-n 64
+    python -m repro.engine run --experiment sinkless --workers 4
+    python -m repro.engine list
+    python -m repro.engine describe mis-luby
+    python -m repro.engine describe landscape
 
-Prints one table per spec (the same renderer the benchmark suite
-feeds into ``benchmarks/conftest.report``) plus cache/parallelism
-accounting, and optionally writes the full JSON report.
+The bare legacy form (``python -m repro.engine --experiment ...``) is
+still accepted and means ``run``.  ``run`` prints one table per spec
+(the same renderer the benchmark suite feeds into
+``benchmarks/conftest.report``) plus cache/parallelism accounting, and
+optionally writes the full JSON report; ``list``/``describe`` read the
+runtime registry's catalogs.
 """
 
 from __future__ import annotations
@@ -22,8 +26,9 @@ from repro.engine.cache import DEFAULT_CACHE_DIR, TrialCache
 from repro.engine.experiments import EXPERIMENTS, build_experiment, paper_placement
 from repro.engine.pool import default_workers
 from repro.engine.runner import EngineReport, run_experiment
+from repro.runtime import registry
 
-__all__ = ["main", "format_report"]
+__all__ = ["main", "format_report", "format_catalog"]
 
 
 def format_report(reports: Sequence[EngineReport]) -> str:
@@ -58,11 +63,135 @@ def format_report(reports: Sequence[EngineReport]) -> str:
     return "\n\n".join(blocks)
 
 
-def _parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.engine",
-        description="parallel, cached experiment runs for the reproduction",
+# -- list / describe ---------------------------------------------------
+
+
+def _constraint_note(
+    max_degree: int | None, min_degree: int | None, girth: int | None
+) -> str:
+    parts = []
+    if min_degree is not None:
+        parts.append(f"deg>={min_degree}")
+    if max_degree is not None:
+        parts.append(f"deg<={max_degree}")
+    if girth is not None:
+        parts.append(f"girth>={girth}")
+    return ", ".join(parts) if parts else "any graph"
+
+
+def format_catalog() -> str:
+    """The ``list`` view: every registered problem, solver, and family."""
+    problems = registry.problems()
+    solvers = registry.solvers()
+    families = registry.families()
+    lines = [f"problems ({len(problems)}):"]
+    for name in sorted(problems):
+        info = problems[name]
+        lines.append(
+            f"  {name:24s} det {info.paper_det} / rand {info.paper_rand}"
+            f"  [{_constraint_note(info.max_degree, info.min_degree, info.min_girth)}]"
+        )
+    lines.append(f"\nsolvers ({len(solvers)}):")
+    for name in sorted(solvers):
+        info = solvers[name]
+        kind = "randomized" if info.randomized else "deterministic"
+        lines.append(
+            f"  {name:24s} {kind:13s} -> {info.problem}"
+            f"  on {', '.join(info.families)}"
+        )
+    lines.append(f"\nfamilies ({len(families)}):")
+    for name in sorted(families):
+        info = families[name]
+        note = _constraint_note(info.max_degree, info.min_degree, info.girth_at_least)
+        lines.append(
+            f"  {name:24s} sized by {info.size_kind:6s} [{note}]  {info.description}"
+        )
+    lines.append(f"\nexperiments ({len(EXPERIMENTS)}):")
+    for name in sorted(EXPERIMENTS):
+        lines.append(f"  {name:24s} {EXPERIMENTS[name].description}")
+    lines.append(
+        f"\n{len(registry.sound_triples())} sound (problem, solver, family) "
+        "triples; `describe <name>` for details"
     )
+    return "\n".join(lines)
+
+
+def format_description(name: str) -> str:
+    """The ``describe`` view for one catalog or experiment entry."""
+    problems = registry.problems()
+    solvers = registry.solvers()
+    families = registry.families()
+    blocks = []
+    if name in problems:
+        info = problems[name]
+        rows = [
+            f"problem {info.name}",
+            f"  {info.description}",
+            f"  paper placement: det {info.paper_det} / rand {info.paper_rand}",
+            "  instance constraints: "
+            + _constraint_note(info.max_degree, info.min_degree, info.min_girth),
+            "  solvers: "
+            + (
+                ", ".join(s.name for s in registry.solvers_for(name)) or "(none)"
+            ),
+        ]
+        blocks.append("\n".join(rows))
+    if name in solvers:
+        info = solvers[name]
+        rows = [
+            f"solver {info.name}",
+            f"  {info.description}",
+            f"  {'randomized' if info.randomized else 'deterministic'}, "
+            f"solves {info.problem}",
+            f"  sound on families: {', '.join(info.families)}",
+        ]
+        if info.ref:
+            rows.append(f"  factory: {info.ref}")
+        blocks.append("\n".join(rows))
+    if name in families:
+        info = families[name]
+        rows = [
+            f"family {info.name}",
+            f"  {info.description}",
+            "  guarantees: "
+            + _constraint_note(info.max_degree, info.min_degree, info.girth_at_least),
+            f"  sized by: {info.size_kind}; conformance sizes {info.test_sizes}",
+            "  solvers sound here: "
+            + (
+                ", ".join(
+                    s.name
+                    for s in sorted(solvers.values(), key=lambda s: s.name)
+                    if s.sound_on(name)
+                )
+                or "(none)"
+            ),
+        ]
+        blocks.append("\n".join(rows))
+    if name in EXPERIMENTS:
+        exp = EXPERIMENTS[name]
+        specs = build_experiment(name)
+        rows = [
+            f"experiment {exp.name}",
+            f"  {exp.description}",
+            f"  defaults: max-n {exp.default_max_n}, "
+            f"{exp.default_seed_count} seed(s)",
+            f"  specs at defaults ({len(specs)}):",
+        ]
+        rows += [f"    {spec.name}  ns={list(spec.ns)}" for spec in specs]
+        blocks.append("\n".join(rows))
+    if not blocks:
+        known = sorted({*problems, *solvers, *families, *EXPERIMENTS})
+        raise ValueError(
+            f"unknown name {name!r}; known problems/solvers/families/"
+            f"experiments: {', '.join(known)}"
+        )
+    return "\n\n".join(blocks)
+
+
+# -- argument parsing --------------------------------------------------
+
+
+def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--experiment",
         required=True,
@@ -104,11 +233,27 @@ def _parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also write the report as JSON to PATH ('-' for stdout)",
     )
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.engine",
+        description="parallel, cached experiment runs for the reproduction",
+    )
+    subparsers = parser.add_subparsers(dest="command")
+    run = subparsers.add_parser("run", help="run a named experiment")
+    _add_run_arguments(run)
+    subparsers.add_parser(
+        "list", help="list registered problems, solvers, families, experiments"
+    )
+    describe = subparsers.add_parser(
+        "describe", help="describe one problem, solver, family, or experiment"
+    )
+    describe.add_argument("name", help="catalog or experiment name")
     return parser
 
 
-def main(argv: Sequence[str] | None = None) -> int:
-    args = _parser().parse_args(argv)
+def _run(args: argparse.Namespace) -> int:
     try:
         specs = build_experiment(args.experiment, args.max_n, args.seeds)
         cache = None if args.no_cache else TrialCache(args.cache_dir)
@@ -119,6 +264,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         run_experiment(spec, workers=args.workers, cache=cache) for spec in specs
     ]
     print(format_report(reports))
+    if args.experiment == "landscape":
+        from repro.analysis import render_landscape
+        from repro.analysis.landscape import rows_from_engine_reports
+
+        rows = rows_from_engine_reports(reports)
+        if rows:
+            print("\n" + render_landscape(rows))
     total = sum(rep.trials_total for rep in reports)
     hits = sum(rep.cache_hits for rep in reports)
     elapsed = sum(rep.elapsed for rep in reports)
@@ -142,6 +294,31 @@ def main(argv: Sequence[str] | None = None) -> int:
             with open(args.json, "w", encoding="utf-8") as handle:
                 handle.write(payload + "\n")
     return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    # Legacy form: bare flags mean `run` — but top-level -h/--help must
+    # keep showing the subcommand overview.
+    if argv and argv[0].startswith("-") and argv[0] not in ("-h", "--help"):
+        argv = ["run", *argv]
+    args = _parser().parse_args(argv)
+    if args.command == "run":
+        return _run(args)
+    if args.command == "list":
+        print(format_catalog())
+        return 0
+    if args.command == "describe":
+        try:
+            print(format_description(args.name))
+        except ValueError as err:
+            print(f"error: {err}", file=sys.stderr)
+            return 2
+        return 0
+    _parser().print_help()
+    return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,9 +1,9 @@
-"""Named experiments: the paper's headline measurements as specs.
+"""Named experiments, generated from the runtime registry.
 
-Everything in this module is importable by reference
-(``"repro.engine.experiments:<attr>"``), which is what lets worker
-processes rebuild solvers, generators and verifiers from a spec
-without pickling live objects:
+Every spec here names its solver, generator, and verifier through
+:mod:`repro.runtime.entrypoints` references — importable in any worker
+process, content-hashable by the trial cache, and resolved against the
+registry catalogs rather than hand-wired factories:
 
 * ``sinkless``  — the Figure 1 separation dot: deterministic
   Theta(log n) vs randomized Theta(loglog n) sinkless orientation on
@@ -13,166 +13,69 @@ without pickling live objects:
   counts; the reported n is the padded instance size);
 * ``gadget``    — Lemma 10: the prover V's O(log n) radius on valid
   gadgets of growing height;
-* ``landscape`` — one spec per implemented LCL row of Figure 1.
+* ``landscape`` — the *full* sound (problem x solver x family)
+  cross-product of the registry: one spec per triple whose family
+  grid fits the size budget.  Registering a new problem, solver, or
+  family widens this experiment automatically.
 """
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Callable
 
 from repro.engine.spec import ExperimentSpec, grid
+from repro.runtime import registry
+from repro.runtime.entrypoints import family_ref, solver_ref, verifier_ref
+from repro.runtime.registry import FamilyInfo, ProblemInfo, SolverInfo
 
-__all__ = ["EXPERIMENTS", "Experiment", "build_experiment"]
-
-_PAPER_PLACEMENT = {
-    "landscape/trivial": ("O(1)", "O(1)"),
-    "landscape/3-coloring-cycles": ("Theta(log* n)", "Theta(log* n)"),
-    "landscape/mis": ("Theta(log* n)", "Theta(log* n)"),
-    "landscape/sinkless-det": ("Theta(log n)", "-"),
-    "landscape/sinkless-rand": ("-", "Theta(loglog n)"),
-}
+__all__ = ["EXPERIMENTS", "Experiment", "build_experiment", "paper_placement"]
 
 
 def paper_placement(spec_name: str) -> tuple[str, str]:
-    return _PAPER_PLACEMENT.get(spec_name, ("-", "-"))
+    """The paper's (det, rand) placement for a spec, from the registry.
+
+    Registry-generated spec names embed the problem as their second
+    path segment (``<experiment>/<problem>/<solver>@<family>``); the
+    placement is the registered problem's.  Unknown shapes get ("-", "-").
+    """
+    parts = spec_name.split("/")
+    if len(parts) < 2:
+        return ("-", "-")
+    problems = registry.problems()
+    info = problems.get(parts[1])
+    if info is None:
+        return ("-", "-")
+    return (info.paper_det, info.paper_rand)
 
 
-# -- generators --------------------------------------------------------
-
-
-def cycle_instance(n: int, seed: int):
-    """A cycle with random identifiers (trivial / coloring rows)."""
-    from repro.generators import cycle
-    from repro.local import Instance
-    from repro.local.identifiers import random_ids
-    from repro.util.rng import NodeRng
-
-    rng = random.Random(seed * 7919 + n)
-    return Instance(cycle(n), random_ids(n, rng), None, None, NodeRng(seed))
-
-
-def padded_sinkless_instance(height: int, seed: int):
-    """A 16-node cubic base padded with gadgets of the given height."""
-    from repro.core.padding import pad_graph
-    from repro.gadgets import build_gadget
-    from repro.generators import random_regular
-    from repro.local import Instance
-    from repro.local.identifiers import sequential_ids
-    from repro.util.rng import NodeRng
-
-    base = random_regular(16, 3, random.Random(2 + seed))
-    gadgets = [build_gadget(3, height) for _ in base.nodes()]
-    padded = pad_graph(base, gadgets)
-    return Instance(
-        padded.graph,
-        sequential_ids(padded.graph.num_nodes),
-        padded.inputs,
-        None,
-        NodeRng(seed),
+def _registry_spec(
+    experiment: str,
+    problem: ProblemInfo,
+    solver: SolverInfo,
+    family: FamilyInfo,
+    ns: tuple[int, ...],
+    seeds: tuple[int, ...],
+) -> ExperimentSpec:
+    """One spec for one sound triple, entirely by registry reference."""
+    return ExperimentSpec(
+        name=f"{experiment}/{problem.name}/{solver.name}@{family.name}",
+        solver=solver_ref(solver.name),
+        generator=family_ref(family.name),
+        verifier=verifier_ref(problem.name),
+        ns=ns,
+        seeds=seeds,
     )
 
 
-def gadget_instance(height: int, seed: int):
-    """One valid gadget of the family, as a prover instance."""
-    del seed  # the gadget family is deterministic per height
-    from repro.gadgets import LogGadgetFamily
-    from repro.local import Instance
-    from repro.local.identifiers import sequential_ids
-
-    built = LogGadgetFamily(3).member_with_height(height)
-    return Instance(
-        built.graph, sequential_ids(built.graph.num_nodes), built.inputs
-    )
+def _named_triple(
+    solver_name: str, family_name: str
+) -> tuple[ProblemInfo, SolverInfo, FamilyInfo]:
+    solver = registry.solver(solver_name)
+    return registry.problem(solver.problem), solver, registry.family(family_name)
 
 
-# -- solver factories --------------------------------------------------
-
-
-def padded_sinkless_solver():
-    from repro.core import PaddedSolver
-    from repro.problems import DeterministicSinklessSolver
-
-    return PaddedSolver(_padded_problem(), DeterministicSinklessSolver())
-
-
-def _padded_problem():
-    from repro.core import PaddedProblem
-    from repro.gadgets import LogGadgetFamily
-    from repro.problems import SinklessOrientation
-
-    return PaddedProblem(SinklessOrientation().problem(), LogGadgetFamily(3))
-
-
-class GadgetProverSolver:
-    """Adapter: the distributed prover V as a ``LocalAlgorithm``."""
-
-    name = "gadget-prover-V"
-    randomized = False
-
-    def solve(self, instance):
-        from repro.gadgets import GadgetScope, run_prover
-        from repro.local.algorithm import RunResult
-
-        scope = GadgetScope(instance.graph, instance.inputs)
-        component = sorted(instance.graph.nodes())
-        result = run_prover(scope, component, 3, instance.n_hint)
-        return RunResult(
-            outputs=result.outputs,
-            node_radius=[result.node_radius[v] for v in component],
-            extras={"all_ok": result.all_ok(), "is_valid": result.is_valid},
-        )
-
-
-# -- verifiers ---------------------------------------------------------
-
-
-def verify_sinkless(instance, result) -> None:
-    from repro.lcl import Labeling, verify
-    from repro.problems import SinklessOrientation
-
-    problem = SinklessOrientation().problem()
-    verdict = verify(
-        problem, instance.graph, Labeling(instance.graph), result.outputs
-    )
-    assert verdict.ok, verdict.summary()
-
-
-def verify_cycle_coloring(instance, result) -> None:
-    from repro.lcl import Labeling, verify
-    from repro.problems import ThreeColoringCycles
-
-    problem = ThreeColoringCycles().problem()
-    verdict = verify(
-        problem, instance.graph, Labeling(instance.graph), result.outputs
-    )
-    assert verdict.ok, verdict.summary()
-
-
-def verify_mis(instance, result) -> None:
-    from repro.lcl import Labeling, verify
-    from repro.problems import MaximalIndependentSet
-
-    problem = MaximalIndependentSet().problem()
-    verdict = verify(
-        problem, instance.graph, Labeling(instance.graph), result.outputs
-    )
-    assert verdict.ok, verdict.summary()
-
-
-def verify_padded_sinkless(instance, result) -> None:
-    verdict = _padded_problem().verify(
-        instance.graph, instance.inputs, result.outputs
-    )
-    assert verdict.ok, verdict.summary()
-
-
-def verify_prover_ok(instance, result) -> None:
-    assert result.extras["all_ok"], "prover flagged a valid gadget"
-
-
-# -- the registry ------------------------------------------------------
+# -- the named experiments ---------------------------------------------
 
 
 @dataclass(frozen=True)
@@ -188,111 +91,55 @@ class Experiment:
 
 def _build_sinkless(max_n: int, seeds: tuple[int, ...]) -> list[ExperimentSpec]:
     ns = grid(64, max_n)
-    return [
-        ExperimentSpec(
-            name="sinkless/det",
-            solver="repro.problems:DeterministicSinklessSolver",
-            generator="repro.generators.hard:cubic_instance",
-            verifier="repro.engine.experiments:verify_sinkless",
-            ns=ns,
-            seeds=seeds,
-        ),
-        ExperimentSpec(
-            name="sinkless/rand",
-            solver="repro.problems:RandomizedSinklessSolver",
-            generator="repro.generators.hard:cubic_instance",
-            verifier="repro.engine.experiments:verify_sinkless",
-            ns=ns,
-            seeds=seeds,
-        ),
-    ]
+    specs = []
+    for solver_name in ("sinkless-det", "sinkless-rand"):
+        problem, solver, family = _named_triple(solver_name, "cubic")
+        specs.append(
+            _registry_spec("sinkless", problem, solver, family, ns, seeds)
+        )
+    return specs
 
 
 def _build_padding(max_n: int, seeds: tuple[int, ...]) -> list[ExperimentSpec]:
-    # The grid values are gadget heights; padded sizes grow as ~2^h.
-    heights = tuple(h for h in range(2, 8) if 16 * (2 ** (h + 1)) <= max_n)
+    problem, solver, family = _named_triple("padded-sinkless-det", "padded-sinkless")
+    heights = family.sweep_sizes(max_n)
     if not heights:
         raise ValueError(
             "padding experiment needs --max-n >= 128 (the smallest "
             "height-2 padded instance has ~128 nodes)"
         )
-    return [
-        ExperimentSpec(
-            name="padding/multiplicative-overhead",
-            solver="repro.engine.experiments:padded_sinkless_solver",
-            generator="repro.engine.experiments:padded_sinkless_instance",
-            verifier="repro.engine.experiments:verify_padded_sinkless",
-            ns=heights,
-            seeds=seeds,
-        )
-    ]
+    return [_registry_spec("padding", problem, solver, family, heights, seeds)]
 
 
 def _build_gadget(max_n: int, seeds: tuple[int, ...]) -> list[ExperimentSpec]:
     del seeds  # the prover is deterministic; one seed suffices
-    heights = tuple(h for h in range(3, 11) if 2 ** (h + 1) <= max_n)
+    problem, solver, family = _named_triple("gadget-prover", "gadget")
+    heights = family.sweep_sizes(max_n)
     if not heights:
         raise ValueError(
             "gadget experiment needs --max-n >= 16 (the smallest "
             "height-3 gadget has ~22 nodes)"
         )
-    return [
-        ExperimentSpec(
-            name="gadget/prover-radius",
-            solver="repro.engine.experiments:GadgetProverSolver",
-            generator="repro.engine.experiments:gadget_instance",
-            verifier="repro.engine.experiments:verify_prover_ok",
-            ns=heights,
-            seeds=(0,),
-        )
-    ]
+    return [_registry_spec("gadget", problem, solver, family, heights, (0,))]
 
 
 def _build_landscape(max_n: int, seeds: tuple[int, ...]) -> list[ExperimentSpec]:
-    ns = grid(64, max_n)
-    cycle_gen = "repro.engine.experiments:cycle_instance"
-    cubic_gen = "repro.generators.hard:cubic_instance"
-    return [
-        ExperimentSpec(
-            name="landscape/trivial",
-            solver="repro.problems:ConstantSolver",
-            generator=cycle_gen,
-            ns=ns,
-            seeds=(0,),
-        ),
-        ExperimentSpec(
-            name="landscape/3-coloring-cycles",
-            solver="repro.problems:CycleColoringSolver",
-            generator=cycle_gen,
-            verifier="repro.engine.experiments:verify_cycle_coloring",
-            ns=ns,
-            seeds=seeds,
-        ),
-        ExperimentSpec(
-            name="landscape/mis",
-            solver="repro.problems:ColorClassMisSolver",
-            generator=cubic_gen,
-            verifier="repro.engine.experiments:verify_mis",
-            ns=ns,
-            seeds=(0,),
-        ),
-        ExperimentSpec(
-            name="landscape/sinkless-det",
-            solver="repro.problems:DeterministicSinklessSolver",
-            generator=cubic_gen,
-            verifier="repro.engine.experiments:verify_sinkless",
-            ns=ns,
-            seeds=seeds,
-        ),
-        ExperimentSpec(
-            name="landscape/sinkless-rand",
-            solver="repro.problems:RandomizedSinklessSolver",
-            generator=cubic_gen,
-            verifier="repro.engine.experiments:verify_sinkless",
-            ns=ns,
-            seeds=seeds,
-        ),
-    ]
+    """The full sound cross-product of the registry, one spec per triple."""
+    specs = []
+    for problem, solver, family in registry.sound_triples():
+        ns = family.sweep_sizes(max_n)
+        if not ns:
+            continue  # family's smallest member exceeds the budget
+        spec_seeds = seeds if solver.randomized else seeds[:1]
+        specs.append(
+            _registry_spec("landscape", problem, solver, family, ns, spec_seeds)
+        )
+    if not specs:
+        raise ValueError(
+            "landscape experiment needs --max-n >= 64 (the smallest "
+            "grid point of every node-graded family)"
+        )
+    return specs
 
 
 EXPERIMENTS: dict[str, Experiment] = {
@@ -319,7 +166,7 @@ EXPERIMENTS: dict[str, Experiment] = {
     ),
     "landscape": Experiment(
         "landscape",
-        "Figure 1 landscape rows (one spec per LCL)",
+        "the registry's full sound problem x solver x family cross-product",
         _build_landscape,
         default_max_n=1024,
         default_seed_count=2,
@@ -345,3 +192,38 @@ def build_experiment(
     if max_n < 1:
         raise ValueError(f"--max-n must be positive, got {max_n}")
     return experiment.build(max_n, tuple(range(seed_count)))
+
+
+# -- legacy importable aliases -----------------------------------------
+# Pre-registry spec references ("repro.engine.experiments:<attr>") are
+# baked into existing benches and caches; keep them resolvable.
+
+
+def cycle_instance(n: int, seed: int):
+    from repro.generators.classic import cycle_instance as build
+
+    return build(n, seed)
+
+
+def padded_sinkless_instance(height: int, seed: int):
+    from repro.core.family import padded_sinkless_instance as build
+
+    return build(height, seed)
+
+
+def padded_sinkless_solver():
+    from repro.core.family import padded_sinkless_solver as make
+
+    return make()
+
+
+def verify_sinkless(instance, result) -> None:
+    from repro.runtime.driver import verifier_for
+
+    verifier_for(registry.problem("sinkless-orientation"))(instance, result)
+
+
+def verify_padded_sinkless(instance, result) -> None:
+    from repro.runtime.driver import verifier_for
+
+    verifier_for(registry.problem("padded-sinkless"))(instance, result)

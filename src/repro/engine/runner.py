@@ -93,10 +93,12 @@ def execute_trial(trial: TrialSpec) -> dict[str, Any]:
     ``NodeRng(seed)``), so this function is deterministic in any
     process.
     """
+    from repro.runtime.driver import dispatch_solver
+
     generator = resolve_ref(trial.generator)
     instance = generator(trial.n, trial.seed, **dict(trial.params))
     solver = resolve_ref(trial.solver)()
-    result = solver.solve(instance)
+    result = dispatch_solver(solver, instance)
     if trial.verifier:
         resolve_ref(trial.verifier)(instance, result)
     return {
@@ -209,13 +211,15 @@ def run_callable_sweep(
     same trial grid, same aggregation, no pickling requirements — and
     therefore serial and uncached.
     """
+    from repro.runtime.driver import dispatch_solver
+
     if not seeds:
         raise ValueError("run_sweep needs at least one seed (got an empty grid)")
     records: list[dict[str, Any]] = []
     for n in ns:
         for seed in seeds:
             instance = instance_factory(n, seed)
-            result = solver.solve(instance)
+            result = dispatch_solver(solver, instance)
             if verify is not None:
                 verify(instance, result)
             records.append(

@@ -1,0 +1,79 @@
+"""The gadget-membership proof as a runtime catalog entry.
+
+Lemma 10's measurement — the distributed prover V certifying valid
+gadgets within O(log n) radius — becomes a registered (problem,
+solver, family) triple here, so the registry cross-product covers the
+gadget layer alongside the classic LCLs.  The "problem" is acceptance
+of the proof: on a valid member every node must output GadOk, checked
+by a custom verifier reading the prover's ``all_ok`` flag.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.registry import register_family, register_problem, register_solver
+
+__all__ = ["GadgetProverSolver", "gadget_instance", "verify_prover_ok"]
+
+
+def verify_prover_ok(instance, result) -> None:
+    """The registered check: V accepted the (valid) member."""
+    assert result.extras["all_ok"], "prover flagged a valid gadget"
+
+
+register_problem(
+    "gadget-proof",
+    description="certify membership in the (log, 3)-gadget family",
+    paper_det="O(log n)",
+    paper_rand="O(log n)",
+    verifier=verify_prover_ok,
+)(lambda: None)  # proof acceptance has no ne-LCL object; the verifier is custom
+
+
+@register_solver(
+    "gadget-prover",
+    problem="gadget-proof",
+    families=("gadget",),
+    randomized=False,
+    description="the distributed prover V of Definition 2",
+)
+class GadgetProverSolver:
+    """Adapter: the distributed prover V as a ``LocalAlgorithm``."""
+
+    name = "gadget-prover-V"
+    randomized = False
+
+    def solve(self, instance):
+        from repro.gadgets.prover import run_prover
+        from repro.gadgets.scope import GadgetScope
+        from repro.local.algorithm import RunResult
+
+        scope = GadgetScope(instance.graph, instance.inputs)
+        component = sorted(instance.graph.nodes())
+        result = run_prover(scope, component, 3, instance.n_hint)
+        return RunResult(
+            outputs=result.outputs,
+            node_radius=[result.node_radius[v] for v in component],
+            extras={"all_ok": result.all_ok(), "is_valid": result.is_valid},
+        )
+
+
+@register_family(
+    "gadget",
+    description="one valid (log, 3)-gadget of height h (size ~3 * 2^h)",
+    max_degree=5,
+    min_degree=1,
+    size_kind="height",
+    test_sizes=(3,),
+    grid=lambda max_n: tuple(h for h in range(3, 11) if 2 ** (h + 1) <= max_n),
+)
+def gadget_instance(height: int, seed: int):
+    """One valid gadget of the family, as a prover instance."""
+    del seed  # the gadget family is deterministic per height
+    from repro.gadgets.family import LogGadgetFamily
+    from repro.local.algorithm import Instance
+    from repro.local.identifiers import sequential_ids
+
+    built = LogGadgetFamily(3).member_with_height(height)
+    return Instance(
+        built.graph, sequential_ids(built.graph.num_nodes), built.inputs
+    )

@@ -4,10 +4,14 @@ from repro.generators.classic import (
     complete,
     complete_binary_tree,
     cycle,
+    cycle_instance,
     disjoint_union,
     path,
+    path_instance,
     star,
     torus_grid,
+    torus_instance,
+    tree_instance,
     with_isolated_nodes,
 )
 from repro.generators.hard import (
@@ -15,7 +19,12 @@ from repro.generators.hard import (
     family_hard_instance,
     padded_hard_instance,
 )
-from repro.generators.regular import configuration_model, lift_girth, random_regular
+from repro.generators.regular import (
+    configuration_model,
+    high_girth_cubic_instance,
+    lift_girth,
+    random_regular,
+)
 
 __all__ = [
     "cubic_instance",
@@ -24,12 +33,17 @@ __all__ = [
     "complete",
     "complete_binary_tree",
     "cycle",
+    "cycle_instance",
     "disjoint_union",
     "path",
+    "path_instance",
     "star",
     "torus_grid",
+    "torus_instance",
+    "tree_instance",
     "with_isolated_nodes",
     "configuration_model",
+    "high_girth_cubic_instance",
     "lift_girth",
     "random_regular",
 ]

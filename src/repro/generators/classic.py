@@ -1,9 +1,18 @@
-"""Classic graph families: cycles, paths, trees, grids, and friends."""
+"""Classic graph families: cycles, paths, trees, grids, and friends.
+
+The ``*_instance`` builders at the bottom wrap the raw graph
+constructors into registered runtime families — random identifiers,
+a per-trial ``NodeRng``, deterministic in ``(n, seed)``.
+"""
 
 from __future__ import annotations
 
+import math
+import random
+
 from repro.local.builder import GraphBuilder
 from repro.local.graphs import PortGraph
+from repro.runtime.registry import register_family
 
 __all__ = [
     "cycle",
@@ -14,6 +23,10 @@ __all__ = [
     "torus_grid",
     "disjoint_union",
     "with_isolated_nodes",
+    "cycle_instance",
+    "path_instance",
+    "torus_instance",
+    "tree_instance",
 ]
 
 
@@ -96,3 +109,68 @@ def with_isolated_nodes(graph: PortGraph, count: int) -> PortGraph:
 
     edges = [(edge.a, edge.b) for edge in graph.edges()]
     return PortGraph(graph.num_nodes + count, edges)
+
+
+# -- registered instance families --------------------------------------
+
+
+def _instance(graph: PortGraph, n: int, seed: int):
+    """Random-id instance with a seeded rng, deterministic in (n, seed)."""
+    from repro.local import Instance
+    from repro.local.identifiers import random_ids
+    from repro.util.rng import NodeRng
+
+    rng = random.Random(seed * 7919 + n)
+    return Instance(
+        graph, random_ids(graph.num_nodes, rng), None, None, NodeRng(seed)
+    )
+
+
+@register_family(
+    "cycle",
+    description="the n-cycle with random identifiers",
+    max_degree=2,
+    min_degree=2,
+    test_sizes=(5, 12),
+)
+def cycle_instance(n: int, seed: int):
+    """A cycle with random identifiers (trivial / coloring rows)."""
+    return _instance(cycle(n), n, seed)
+
+
+@register_family(
+    "path",
+    description="the n-node path with random identifiers",
+    max_degree=2,
+    min_degree=1,
+    test_sizes=(6, 13),
+)
+def path_instance(n: int, seed: int):
+    """A path with random identifiers."""
+    return _instance(path(n), n, seed)
+
+
+@register_family(
+    "torus",
+    description="a ~sqrt(n) x sqrt(n) toroidal grid (4-regular)",
+    max_degree=4,
+    min_degree=4,
+    test_sizes=(9, 25),
+)
+def torus_instance(n: int, seed: int):
+    """A near-square torus grid of roughly n nodes."""
+    side = max(3, math.isqrt(max(n, 1)))
+    return _instance(torus_grid(side, side), n, seed)
+
+
+@register_family(
+    "tree",
+    description="the complete binary tree with ~n nodes",
+    max_degree=3,
+    min_degree=1,
+    test_sizes=(7, 15),
+)
+def tree_instance(n: int, seed: int):
+    """The complete binary tree whose size is the largest 2^h - 1 <= n."""
+    height = max(1, (max(n, 1) + 1).bit_length() - 1)
+    return _instance(complete_binary_tree(height), n, seed)

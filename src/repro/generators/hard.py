@@ -15,11 +15,19 @@ from repro.core.hard_instances import _lifted_ids, hard_instance, paper_f
 from repro.generators.regular import random_regular
 from repro.local.algorithm import Instance
 from repro.local.identifiers import random_ids
+from repro.runtime.registry import register_family
 from repro.util.rng import NodeRng
 
 __all__ = ["cubic_instance", "padded_hard_instance", "family_hard_instance"]
 
 
+@register_family(
+    "cubic",
+    description="random 3-regular graphs (locally tree-like hard inputs)",
+    max_degree=3,
+    min_degree=3,
+    test_sizes=(16, 30),
+)
 def cubic_instance(n: int, seed: int) -> Instance:
     """A random 3-regular instance with random identifiers."""
     n = n if n % 2 == 0 else n + 1

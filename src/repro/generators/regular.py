@@ -13,8 +13,14 @@ import random
 
 from repro.local.distances import girth
 from repro.local.graphs import PortGraph
+from repro.runtime.registry import register_family
 
-__all__ = ["random_regular", "configuration_model", "lift_girth"]
+__all__ = [
+    "random_regular",
+    "configuration_model",
+    "lift_girth",
+    "high_girth_cubic_instance",
+]
 
 
 def configuration_model(n: int, degree: int, rng: random.Random) -> PortGraph:
@@ -110,3 +116,27 @@ def lift_girth(
         f"girth surgery did not reach girth {min_girth} (currently {g}); "
         "the target is likely infeasible at this size"
     )
+
+
+@register_family(
+    "high-girth-cubic",
+    description="random cubic graphs lifted to girth >= 6 by edge surgery",
+    max_degree=3,
+    min_degree=3,
+    girth_at_least=6,
+    test_sizes=(24, 40),
+)
+def high_girth_cubic_instance(n: int, seed: int):
+    """A 3-regular instance with no cycle shorter than 6.
+
+    The anchor-scan solver's Theta(log n) radius shows cleanest on
+    these: the shortest certifying cycle cannot appear before radius 3.
+    """
+    from repro.local import Instance
+    from repro.local.identifiers import random_ids
+    from repro.util.rng import NodeRng
+
+    n = n if n % 2 == 0 else n + 1
+    rng = random.Random(0x617274 ^ (n * 1_000_003) ^ seed)
+    graph = lift_girth(random_regular(n, 3, rng), 6, rng)
+    return Instance(graph, random_ids(n, rng), None, None, NodeRng(seed))

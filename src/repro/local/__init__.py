@@ -20,7 +20,7 @@ from repro.local.identifiers import (
     reversed_ids,
     sequential_ids,
 )
-from repro.local.simulator import EngineResult, SyncEngine
+from repro.local.simulator import ConvergenceError, EngineResult, SyncEngine
 from repro.local.views import View, ViewOracle
 
 __all__ = [
@@ -44,6 +44,7 @@ __all__ = [
     "random_ids",
     "reversed_ids",
     "sequential_ids",
+    "ConvergenceError",
     "EngineResult",
     "SyncEngine",
     "View",

@@ -19,7 +19,32 @@ from typing import Any, Callable, Protocol
 
 from repro.local.algorithm import Instance
 
-__all__ = ["NodeProtocol", "SyncEngine", "MessageRound", "EngineResult"]
+__all__ = [
+    "NodeProtocol",
+    "SyncEngine",
+    "MessageRound",
+    "EngineResult",
+    "ConvergenceError",
+]
+
+
+class ConvergenceError(RuntimeError):
+    """The engine hit ``max_rounds`` with nodes still active.
+
+    Carries the partial round trace and the number of still-active
+    nodes so callers can diagnose livelocks (which nodes never halt,
+    whether activity was shrinking) instead of staring at a bare
+    message.
+    """
+
+    def __init__(self, max_rounds: int, active: int, trace: list["MessageRound"]):
+        super().__init__(
+            f"engine did not converge in {max_rounds} rounds; "
+            f"{active} node(s) still active in the last round"
+        )
+        self.max_rounds = max_rounds
+        self.active = active
+        self.trace = trace
 
 
 class NodeProtocol(Protocol):
@@ -52,15 +77,22 @@ class MessageRound:
 
 @dataclass
 class EngineResult:
-    """Per-node results and the exact number of rounds executed."""
+    """Per-node results and the exact number of rounds executed.
+
+    ``halt_rounds[v]`` is the round index at which node ``v`` returned
+    ``None`` from ``outgoing`` — i.e. the number of message rounds the
+    node participated in, which is exactly the view radius it consulted.
+    ``rounds`` is their maximum.
+    """
 
     results: list[Any]
     rounds: int
     trace: list[MessageRound]
+    halt_rounds: list[int]
 
     def node_radius(self) -> list[int]:
-        """Message rounds translate to a uniform view radius."""
-        return [self.rounds] * len(self.results)
+        """Per-node view radii: the round each node halted at."""
+        return list(self.halt_rounds)
 
 
 class SyncEngine:
@@ -81,6 +113,7 @@ class SyncEngine:
         off, nbr, peer, _ = graph.csr()
         deg = graph.degrees
         halted = [False] * num_nodes
+        halt_rounds = [0] * num_nodes
         trace: list[MessageRound] = []
         rounds = 0
         for round_index in range(max_rounds):
@@ -94,6 +127,7 @@ class SyncEngine:
                 out = node.outgoing(round_index)
                 if out is None:
                     halted[v] = True
+                    halt_rounds[v] = round_index
                     append_outbox(None)
                     continue
                 if len(out) != deg[v]:
@@ -130,9 +164,10 @@ class SyncEngine:
                 if not halted[v]:
                     node.receive(round_index, inboxes[v])
         else:
-            raise RuntimeError(f"engine did not converge in {max_rounds} rounds")
+            raise ConvergenceError(max_rounds, sum(not h for h in halted), trace)
         return EngineResult(
             results=[node.result() for node in self.nodes],
             rounds=rounds,
             trace=trace,
+            halt_rounds=halt_rounds,
         )

@@ -28,6 +28,8 @@ from repro.problems.trivial import (
     ConstantLabelProblem,
     ConstantSolver,
     ParityOfDegreeProblem,
+    ParitySyncSolver,
+    ParityViewSolver,
 )
 
 __all__ = [
@@ -55,4 +57,6 @@ __all__ = [
     "ConstantLabelProblem",
     "ConstantSolver",
     "ParityOfDegreeProblem",
+    "ParitySyncSolver",
+    "ParityViewSolver",
 ]

@@ -16,6 +16,7 @@ from repro.lcl.problem import EdgeConfiguration, NeLCL, NodeConfiguration
 from repro.local.algorithm import Instance, RunResult
 from repro.local.simulator import SyncEngine
 from repro.problems.linial import reduce_color, reduction_schedule
+from repro.runtime.registry import register_problem, register_solver
 
 __all__ = ["VertexColoring", "LinialColoringSolver", "proper_coloring_labeling"]
 
@@ -148,3 +149,23 @@ class LinialColoringSolver:
                 "palette_after_linial": schedule[-1][0] ** 2 if schedule else id_space,
             },
         )
+
+
+# The landscape's proper-coloring row: 4 colors cover every registered
+# family of maximum degree <= 3; the solver is Linial's reduction with
+# the palette pinned at 4.
+register_problem(
+    "4-coloring",
+    description="proper vertex coloring with 4 colors (Delta <= 3)",
+    max_degree=3,
+    paper_det="Theta(log* n)",
+    paper_rand="Theta(log* n)",
+)(lambda: VertexColoring(4))
+
+register_solver(
+    "linial-4-coloring",
+    problem="4-coloring",
+    families=("cycle", "path", "tree", "cubic", "high-girth-cubic"),
+    randomized=False,
+    description="Linial color reduction to a fixed 4-color palette",
+)(lambda: LinialColoringSolver(num_colors=4))

@@ -17,10 +17,18 @@ from __future__ import annotations
 from repro.lcl.problem import NeLCL
 from repro.local.algorithm import Instance, RunResult
 from repro.problems.coloring import LinialColoringSolver, VertexColoring
+from repro.runtime.registry import register_problem, register_solver
 
 __all__ = ["ThreeColoringCycles", "cole_vishkin_solver", "CycleColoringSolver"]
 
 
+@register_problem(
+    "3-coloring-cycles",
+    description="proper 3-coloring of paths and cycles",
+    max_degree=2,
+    paper_det="Theta(log* n)",
+    paper_rand="Theta(log* n)",
+)
 class ThreeColoringCycles:
     """Factory for the 3-coloring LCL restricted to degree <= 2 graphs.
 
@@ -49,6 +57,12 @@ class ThreeColoringCycles:
         )
 
 
+@register_solver(
+    "cycle-3-coloring",
+    problem="3-coloring-cycles",
+    families=("cycle", "path"),
+    description="Cole-Vishkin / Linial reduction at Delta = 2",
+)
 class CycleColoringSolver:
     """Linial reduction at Delta = 2, target palette 3."""
 

@@ -22,6 +22,9 @@ from repro.local.algorithm import Instance, RunResult
 from repro.local.graphs import PortGraph
 from repro.local.identifiers import IdAssignment
 from repro.problems.coloring import LinialColoringSolver
+from repro.runtime.registry import register_problem, register_solver
+
+_MATCHING_FAMILIES = ("cycle", "path", "cubic", "torus", "high-girth-cubic")
 
 __all__ = [
     "MaximalMatching",
@@ -37,6 +40,12 @@ _HALF = LabelSet(
 )
 
 
+@register_problem(
+    "maximal-matching",
+    description="maximal matching (no two matched edges share a node)",
+    paper_det="Theta(log* n)",
+    paper_rand="Theta(log* n)",
+)
 class MaximalMatching:
     """Factory for the maximal-matching ne-LCL (loops never matched)."""
 
@@ -118,6 +127,12 @@ def line_graph(graph: PortGraph) -> PortGraph:
     return PortGraph.from_edge_list(graph.num_edges, pairs)
 
 
+@register_solver(
+    "matching-line-coloring",
+    problem="maximal-matching",
+    families=_MATCHING_FAMILIES,
+    description="Linial coloring of the line graph, then a class sweep",
+)
 class ColorClassMatchingSolver:
     """Deterministic maximal matching via line-graph coloring."""
 
@@ -171,6 +186,12 @@ class ColorClassMatchingSolver:
         )
 
 
+@register_solver(
+    "matching-luby",
+    problem="maximal-matching",
+    families=_MATCHING_FAMILIES,
+    description="randomized Luby-style edge proposals",
+)
 class LubyMatchingSolver:
     """Randomized maximal matching by iterated edge proposals."""
 

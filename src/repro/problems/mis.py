@@ -28,8 +28,11 @@ from repro.lcl.problem import EdgeConfiguration, NeLCL, NodeConfiguration
 from repro.local.algorithm import Instance, RunResult
 from repro.local.graphs import HalfEdge, PortGraph
 from repro.problems.coloring import LinialColoringSolver
+from repro.runtime.registry import register_problem, register_solver
 
 __all__ = ["MaximalIndependentSet", "ColorClassMisSolver", "LubyMisSolver", "mis_labeling"]
+
+_MIS_FAMILIES = ("cycle", "path", "cubic", "torus", "tree", "high-girth-cubic")
 
 IN_SET = 1
 OUT_SET = 0
@@ -38,6 +41,12 @@ _HALF = LabelSet("mis-half", {(a, b) for a in (0, 1) for b in (0, 1)})
 _NODE = LabelSet("mis-node", {IN_SET, OUT_SET})
 
 
+@register_problem(
+    "mis",
+    description="maximal independent set (independent dominating set)",
+    paper_det="Theta(log* n)",
+    paper_rand="Theta(log* n)",
+)
 class MaximalIndependentSet:
     """Factory for the MIS ne-LCL."""
 
@@ -89,6 +98,12 @@ def mis_labeling(graph: PortGraph, members: set[int]) -> Labeling:
     return labeling
 
 
+@register_solver(
+    "mis-color-classes",
+    problem="mis",
+    families=_MIS_FAMILIES,
+    description="Linial coloring followed by a color-class sweep",
+)
 class ColorClassMisSolver:
     """Deterministic MIS: Linial coloring, then a color-class sweep."""
 
@@ -125,6 +140,12 @@ class ColorClassMisSolver:
         )
 
 
+@register_solver(
+    "mis-luby",
+    problem="mis",
+    families=_MIS_FAMILIES,
+    description="Luby's randomized marking rounds",
+)
 class LubyMisSolver:
     """Luby's randomized MIS (O(log n) rounds w.h.p.)."""
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 from repro.lcl.labels import EMPTY, LabelSet
 from repro.lcl.problem import EdgeConfiguration, NeLCL, NodeConfiguration
 from repro.problems.orientation import IN, OUT
+from repro.runtime.registry import register_problem
 
 __all__ = ["SinklessOrientation", "sinkless_orientation"]
 
@@ -25,6 +26,12 @@ _HALF_OUTPUTS = LabelSet("orientation", {OUT, IN})
 _SILENT = LabelSet("silent", {EMPTY})
 
 
+@register_problem(
+    "sinkless-orientation",
+    description="orient every edge; nodes of degree >= 3 need an out-edge",
+    paper_det="Theta(log n)",
+    paper_rand="Theta(loglog n)",
+)
 class SinklessOrientation:
     """Factory for the sinkless-orientation ne-LCL."""
 

@@ -32,6 +32,9 @@ from dataclasses import dataclass
 from repro.local.algorithm import Instance, RunResult
 from repro.local.graphs import HalfEdge, PortGraph
 from repro.problems.orientation import Orientation, fix_deficient
+from repro.runtime.registry import register_solver
+
+_SINKLESS_FAMILIES = ("cubic", "high-girth-cubic", "torus")
 
 __all__ = [
     "DeterministicSinklessSolver",
@@ -137,6 +140,12 @@ def anchor_scan(graph: PortGraph, ids, v: int, exempt_below: int) -> AnchorScan:
     )
 
 
+@register_solver(
+    "sinkless-det",
+    problem="sinkless-orientation",
+    families=_SINKLESS_FAMILIES,
+    description="anchor scan + augmenting-path fixer, Theta(log n)",
+)
 class DeterministicSinklessSolver:
     """Anchor-claim deterministic algorithm (measured Theta(log n))."""
 
@@ -202,6 +211,12 @@ class DeterministicSinklessSolver:
         )
 
 
+@register_solver(
+    "sinkless-rand",
+    problem="sinkless-orientation",
+    families=_SINKLESS_FAMILIES,
+    description="per-edge coin flips + shattering repair, Theta(loglog n)",
+)
 class RandomizedSinklessSolver:
     """Coin flips + shattering repair (measured Theta(log log n))."""
 

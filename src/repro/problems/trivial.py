@@ -1,4 +1,11 @@
-"""Trivial LCLs: the O(1) anchors of the complexity landscape."""
+"""Trivial LCLs: the O(1) anchors of the complexity landscape.
+
+Besides the direct :class:`ConstantSolver`, this module registers one
+solver per runtime execution path for the degree-parity problem — a
+round-based node program (SyncEngine) and a view-based program
+(ViewOracle) — so the driver's adapter is exercised by real catalog
+entries, not just by the ``solve``-style solvers.
+"""
 
 from __future__ import annotations
 
@@ -6,10 +13,25 @@ from repro.lcl.assignment import Labeling
 from repro.lcl.labels import LabelSet
 from repro.lcl.problem import NeLCL
 from repro.local.algorithm import Instance, RunResult
+from repro.runtime.registry import register_problem, register_solver
 
-__all__ = ["ConstantLabelProblem", "ConstantSolver", "ParityOfDegreeProblem"]
+__all__ = [
+    "ConstantLabelProblem",
+    "ConstantSolver",
+    "ParityOfDegreeProblem",
+    "ParitySyncSolver",
+    "ParityViewSolver",
+]
+
+_ALL_FAMILIES = ("cycle", "path", "cubic", "torus", "tree", "high-girth-cubic")
 
 
+@register_problem(
+    "constant",
+    description="every node outputs the fixed label 'ok'",
+    paper_det="O(1)",
+    paper_rand="O(1)",
+)
 class ConstantLabelProblem:
     """Every node outputs the fixed label; always satisfiable in 0 rounds."""
 
@@ -28,6 +50,12 @@ class ConstantLabelProblem:
         )
 
 
+@register_problem(
+    "degree-parity",
+    description="label each node with deg(v) mod 2",
+    paper_det="O(1)",
+    paper_rand="O(1)",
+)
 class ParityOfDegreeProblem:
     """Output your degree's parity; a 0-round but non-constant LCL."""
 
@@ -42,6 +70,12 @@ class ParityOfDegreeProblem:
         )
 
 
+@register_solver(
+    "constant",
+    problem="constant",
+    families=_ALL_FAMILIES,
+    description="output the fixed label everywhere, zero rounds",
+)
 class ConstantSolver:
     """Solves both trivial problems in zero rounds."""
 
@@ -58,3 +92,75 @@ class ConstantSolver:
         for v in graph.nodes():
             outputs.set_node(v, graph.degree(v) % 2 if self.parity else self.label)
         return RunResult(outputs=outputs, node_radius=[0] * graph.num_nodes)
+
+
+register_solver(
+    "parity",
+    problem="degree-parity",
+    families=_ALL_FAMILIES,
+    randomized=False,
+    description="direct zero-round parity labeling",
+)(lambda: ConstantSolver(parity=True))
+
+
+class _ParityNode:
+    """A node program that halts immediately with its parity."""
+
+    def __init__(self, v: int, instance: Instance):
+        self.parity = instance.graph.degree(v) % 2
+
+    def outgoing(self, round_index):
+        return None  # zero-round algorithm: halt before sending anything
+
+    def receive(self, round_index, inbox):  # pragma: no cover - never called
+        raise AssertionError("a halted node receives nothing")
+
+    def result(self):
+        return self.parity
+
+
+@register_solver(
+    "parity-sync",
+    problem="degree-parity",
+    families=_ALL_FAMILIES,
+    randomized=False,
+    description="parity as a round-based node program (SyncEngine path)",
+)
+class ParitySyncSolver:
+    """Degree parity through the driver's SyncEngine adapter."""
+
+    name = "parity-sync"
+    randomized = False
+
+    @staticmethod
+    def node_factory(v: int, instance: Instance) -> _ParityNode:
+        return _ParityNode(v, instance)
+
+    @staticmethod
+    def finish(instance: Instance, engine_result) -> Labeling:
+        outputs = Labeling(instance.graph)
+        for v, parity in enumerate(engine_result.results):
+            outputs.set_node(v, parity)
+        return outputs
+
+
+@register_solver(
+    "parity-views",
+    problem="degree-parity",
+    families=_ALL_FAMILIES,
+    randomized=False,
+    description="parity as a view-based program (ViewOracle path)",
+)
+class ParityViewSolver:
+    """Degree parity through the driver's ViewOracle adapter."""
+
+    name = "parity-views"
+    randomized = False
+
+    @staticmethod
+    def run_views(oracle, instance: Instance) -> Labeling:
+        outputs = Labeling(instance.graph)
+        for v in instance.graph.nodes():
+            view = oracle.view(v, 0)  # the radius-0 view suffices
+            outputs.set_node(v, instance.graph.degree(view.center) % 2)
+        return outputs

@@ -1,0 +1,61 @@
+"""Registry-driven execution layer (the runtime).
+
+One layer owns the cross-product the paper's landscape is made of:
+
+* :mod:`repro.runtime.registry` — introspectable catalogs populated by
+  ``@register_problem`` / ``@register_solver`` / ``@register_family``
+  decorators in the problem, generator, core, and gadget modules;
+* :mod:`repro.runtime.driver` — ``Runtime.run(problem, solver, family,
+  n, seed)``: build the instance, dispatch the solver behind one
+  adapter (direct / SyncEngine / ViewOracle), verify, return a
+  :class:`~repro.runtime.driver.TrialRecord`;
+* :mod:`repro.runtime.entrypoints` — ``module:attr`` references into
+  the catalogs so the engine's content-hashed, multiprocessing
+  experiment specs are generated from the registry instead of
+  hand-wired lists.
+"""
+
+from repro.runtime.registry import (
+    FamilyInfo,
+    ProblemInfo,
+    SolverInfo,
+    ensure_registered,
+    families,
+    family,
+    problem,
+    problems,
+    register_family,
+    register_problem,
+    register_solver,
+    solver,
+    solvers,
+    solvers_for,
+    sound_triples,
+)
+from repro.runtime.driver import Runtime, TrialRecord, dispatch_solver, verifier_for
+from repro.runtime.entrypoints import family_ref, solver_ref, verifier_ref
+
+__all__ = [
+    "FamilyInfo",
+    "ProblemInfo",
+    "Runtime",
+    "SolverInfo",
+    "TrialRecord",
+    "dispatch_solver",
+    "ensure_registered",
+    "families",
+    "family",
+    "family_ref",
+    "problem",
+    "problems",
+    "register_family",
+    "register_problem",
+    "register_solver",
+    "solver",
+    "solver_ref",
+    "solvers",
+    "solvers_for",
+    "sound_triples",
+    "verifier_for",
+    "verifier_ref",
+]

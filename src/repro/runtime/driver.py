@@ -1,0 +1,225 @@
+"""The unified execution driver: one entry point for every trial.
+
+``Runtime.run(problem, solver, family, n, seed)`` is the single path
+every (problem x solver x family) combination goes through:
+
+1. build the instance from the registered family;
+2. dispatch the registered solver through the adapter — directly for
+   :class:`~repro.local.algorithm.LocalAlgorithm` objects, via
+   :class:`~repro.local.simulator.SyncEngine` for round-based node
+   programs, via :class:`~repro.local.views.ViewOracle` for view-based
+   programs — landing in one :class:`~repro.local.algorithm.RunResult`
+   shape regardless of the execution model;
+3. run the problem's verifier (the ne-LCL checker of
+   :mod:`repro.lcl.verifier` by default, the problem's own ``verify``
+   for padded problems, or a registered custom check);
+4. return a :class:`TrialRecord` with outputs, per-node radii, round
+   complexity, verification status, and wall time.
+
+The engine's experiment specs, the CLI, and the conformance suite all
+reduce to calls into this driver.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.lcl.assignment import Labeling
+from repro.lcl.problem import NeLCL
+from repro.lcl.verifier import verify as lcl_verify
+from repro.local.algorithm import Instance, RunResult
+from repro.local.simulator import SyncEngine
+from repro.local.views import ViewOracle
+from repro.runtime import registry
+from repro.runtime.registry import FamilyInfo, ProblemInfo, SolverInfo
+
+__all__ = ["Runtime", "TrialRecord", "dispatch_solver", "verifier_for"]
+
+
+@dataclass
+class TrialRecord:
+    """Everything one trial produced, in one flat record."""
+
+    problem: str
+    solver: str
+    family: str
+    n: int
+    actual_n: int
+    seed: int
+    rounds: int
+    node_radius: list[int]
+    outputs: Labeling
+    verified: bool | None  # None = verification skipped
+    wall_time: float
+    extras: dict = field(default_factory=dict)
+
+    def summary(self) -> str:
+        status = {True: "ok", False: "FAILED", None: "unverified"}[self.verified]
+        return (
+            f"{self.problem} / {self.solver} @ {self.family} "
+            f"n={self.actual_n} seed={self.seed}: {self.rounds} rounds, "
+            f"{status}, {self.wall_time * 1000:.1f}ms"
+        )
+
+
+def dispatch_solver(solver_obj: Any, instance: Instance) -> RunResult:
+    """Run a solver object on an instance, whatever its execution model.
+
+    Three shapes are accepted, checked in order:
+
+    * ``solve(instance) -> RunResult`` — the repo-wide
+      :class:`~repro.local.algorithm.LocalAlgorithm` protocol (covers
+      solvers that drive ``SyncEngine``/``ViewOracle`` internally);
+    * ``node_factory(v, instance)`` plus ``finish(instance, engine_result)
+      -> Labeling`` — a round-based node program; the adapter runs it on
+      :class:`~repro.local.simulator.SyncEngine` and charges each node
+      the round it halted at;
+    * ``run_views(oracle, instance) -> Labeling`` — a view-based
+      program; the adapter meters it through
+      :class:`~repro.local.views.ViewOracle` and charges each node the
+      largest radius it consulted.
+    """
+    if hasattr(solver_obj, "solve"):
+        return solver_obj.solve(instance)
+    if hasattr(solver_obj, "node_factory"):
+        engine = SyncEngine(instance, solver_obj.node_factory)
+        engine_result = engine.run()
+        outputs = solver_obj.finish(instance, engine_result)
+        return RunResult(
+            outputs=outputs,
+            node_radius=engine_result.node_radius(),
+            extras={"engine_rounds": engine_result.rounds},
+        )
+    if hasattr(solver_obj, "run_views"):
+        oracle = ViewOracle(instance.graph)
+        outputs = solver_obj.run_views(oracle, instance)
+        return RunResult(
+            outputs=outputs,
+            node_radius=oracle.node_radii(),
+            extras={"view_rounds": oracle.rounds()},
+        )
+    raise TypeError(
+        f"solver {solver_obj!r} implements none of the adapter protocols "
+        "(solve / node_factory+finish / run_views)"
+    )
+
+
+def verifier_for(problem_info: ProblemInfo) -> Callable[[Instance, RunResult], None]:
+    """An ``(instance, result) -> None`` check for a registered problem.
+
+    Preference order: the problem's registered custom verifier, the
+    problem object's own ``verify(graph, inputs, outputs)`` (padded
+    problems), then the ne-LCL checker of :mod:`repro.lcl.verifier`.
+    Raises ``AssertionError`` with the verdict summary on rejection.
+    """
+    if problem_info.verifier is not None:
+        return problem_info.verifier
+
+    def check(instance: Instance, result: RunResult) -> None:
+        problem_obj = problem_info.materialize()
+        inputs = instance.inputs
+        if inputs is None:
+            inputs = Labeling(instance.graph)
+        own_verify = getattr(problem_obj, "verify", None)
+        if callable(own_verify) and not isinstance(problem_obj, NeLCL):
+            verdict = own_verify(instance.graph, inputs, result.outputs)
+        else:
+            verdict = lcl_verify(problem_obj, instance.graph, inputs, result.outputs)
+        assert verdict.ok, (
+            f"{problem_info.name}: {verdict.summary()}"
+        )
+
+    return check
+
+
+class Runtime:
+    """Registry-driven execution of (problem, solver, family) triples."""
+
+    def __init__(self) -> None:
+        registry.ensure_registered()
+
+    # -- catalog passthrough (the driver is the natural API surface) ----
+
+    def triples(self) -> list[tuple[ProblemInfo, SolverInfo, FamilyInfo]]:
+        """The validated sound cross-product (see the registry)."""
+        return registry.sound_triples()
+
+    # -- the three stages ----------------------------------------------
+
+    def build_instance(self, family: str, n: int, seed: int = 0) -> Instance:
+        """Build one instance of a registered family."""
+        return registry.family(family).builder(n, seed)
+
+    def solve(self, solver: str, instance: Instance) -> RunResult:
+        """Instantiate a registered solver and dispatch it on an instance."""
+        return dispatch_solver(registry.solver(solver).factory(), instance)
+
+    def verify(
+        self, problem: str, instance: Instance, result: RunResult
+    ) -> bool:
+        """True iff the registered verifier accepts the result."""
+        try:
+            verifier_for(registry.problem(problem))(instance, result)
+        except AssertionError:
+            return False
+        return True
+
+    # -- the unified entry point ---------------------------------------
+
+    def run(
+        self,
+        problem: str,
+        solver: str,
+        family: str,
+        n: int,
+        seed: int = 0,
+        verify: bool = True,
+        check_sound: bool = True,
+    ) -> TrialRecord:
+        """Build, solve, verify; everything the trial produced in one record.
+
+        ``check_sound`` rejects combinations the registry does not vouch
+        for: the solver must target ``problem`` and declare soundness on
+        ``family``.  Pass ``False`` to probe unsound combinations (e.g.
+        corruption experiments) — the verifier still reports the truth.
+        """
+        problem_info = registry.problem(problem)
+        solver_info = registry.solver(solver)
+        family_info = registry.family(family)
+        if check_sound:
+            if solver_info.problem != problem_info.name:
+                raise ValueError(
+                    f"solver {solver!r} solves {solver_info.problem!r}, "
+                    f"not {problem!r}"
+                )
+            if not solver_info.sound_on(family_info.name):
+                raise ValueError(
+                    f"solver {solver!r} is not declared sound on family "
+                    f"{family!r} (sound on: {', '.join(solver_info.families)})"
+                )
+        start = time.perf_counter()
+        instance = family_info.builder(n, seed)
+        result = dispatch_solver(solver_info.factory(), instance)
+        verified: bool | None = None
+        if verify:
+            verified = True
+            try:
+                verifier_for(problem_info)(instance, result)
+            except AssertionError:
+                verified = False
+        return TrialRecord(
+            problem=problem_info.name,
+            solver=solver_info.name,
+            family=family_info.name,
+            n=n,
+            actual_n=instance.graph.num_nodes,
+            seed=seed,
+            rounds=result.rounds,
+            node_radius=list(result.node_radius),
+            outputs=result.outputs,
+            verified=verified,
+            wall_time=time.perf_counter() - start,
+            extras=dict(result.extras),
+        )

@@ -1,0 +1,60 @@
+"""Importable references into the registry for declarative specs.
+
+The engine's :class:`~repro.engine.spec.ExperimentSpec` names solver,
+generator, and verifier as ``"module:attr"`` strings so trials can be
+content-hashed and shipped to worker processes.  This module is the
+bridge between that string world and the registry: a module-level
+``__getattr__`` resolves
+
+* ``solver__<name>``   -> the registered solver's zero-arg factory,
+* ``family__<name>``   -> the registered family's instance builder,
+* ``verifier__<name>`` -> the registered problem's verifier,
+
+so ``resolve_ref("repro.runtime.entrypoints:solver__mis-luby")`` works
+in any process — importing this module bootstraps the catalogs first.
+Registry-generated specs therefore never hand-maintain per-experiment
+factory or verifier functions.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.runtime import registry
+
+__all__ = ["family_ref", "solver_ref", "verifier_ref"]
+
+_MODULE = __name__
+
+
+def solver_ref(name: str) -> str:
+    """The spec-ready reference of a registered solver's factory."""
+    registry.solver(name)  # fail fast on unknown names
+    return f"{_MODULE}:solver__{name}"
+
+
+def family_ref(name: str) -> str:
+    """The spec-ready reference of a registered family's builder."""
+    registry.family(name)
+    return f"{_MODULE}:family__{name}"
+
+
+def verifier_ref(name: str) -> str:
+    """The spec-ready reference of a registered problem's verifier."""
+    registry.problem(name)
+    return f"{_MODULE}:verifier__{name}"
+
+
+def __getattr__(name: str) -> Any:
+    kind, sep, slug = name.partition("__")
+    if not sep or not slug:
+        raise AttributeError(f"module {_MODULE!r} has no attribute {name!r}")
+    if kind == "solver":
+        return registry.solver(slug).factory
+    if kind == "family":
+        return registry.family(slug).builder
+    if kind == "verifier":
+        from repro.runtime.driver import verifier_for
+
+        return verifier_for(registry.problem(slug))
+    raise AttributeError(f"module {_MODULE!r} has no attribute {name!r}")

@@ -1,0 +1,393 @@
+"""Introspectable catalogs of problems, solvers, and graph families.
+
+The paper's central object is a *landscape*: many LCL problems, each
+with deterministic and randomized solvers, evaluated across graph
+families.  This module turns that cross-product into data.  Modules
+under ``repro.problems``, ``repro.generators``, ``repro.core`` and
+``repro.gadgets`` register their contributions with the three
+decorators:
+
+* :func:`register_problem` — an LCL (a factory producing an
+  :class:`~repro.lcl.problem.NeLCL` or any object with a compatible
+  ``verify``), its degree/girth constraints, and the paper's placement
+  of its deterministic/randomized complexity;
+* :func:`register_solver` — a solver for a named problem, whether it
+  is randomized, and the families it is *sound* on (the instances it
+  is guaranteed to produce verifier-accepted outputs for);
+* :func:`register_family` — an instance family ``(n, seed) ->
+  Instance`` with the structural guarantees its members satisfy.
+
+Everything downstream — the unified :class:`~repro.runtime.driver.Runtime`,
+the engine's declarative experiments, the CLI's ``list``/``describe``
+subcommands, and the conformance test-suite — reads these catalogs
+instead of hand-wired lists; registering a new problem, solver, or
+family automatically widens all of them.
+
+Registration is import-driven: :func:`ensure_registered` imports the
+known registering packages once, so catalogs are complete in any
+process (including pool workers) without a central hand-maintained
+manifest.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = [
+    "FamilyInfo",
+    "ProblemInfo",
+    "SolverInfo",
+    "ensure_registered",
+    "families",
+    "family",
+    "problem",
+    "problems",
+    "register_family",
+    "register_problem",
+    "register_solver",
+    "solver",
+    "solvers",
+    "solvers_for",
+    "sound_triples",
+]
+
+# Modules whose import populates the catalogs.  Append-only: a module
+# listed here registers itself via the decorators below.
+_REGISTERING_MODULES = (
+    "repro.problems",
+    "repro.generators",
+    "repro.core.family",
+    "repro.gadgets.proof",
+)
+
+_PROBLEMS: dict[str, "ProblemInfo"] = {}
+_SOLVERS: dict[str, "SolverInfo"] = {}
+_FAMILIES: dict[str, "FamilyInfo"] = {}
+_BOOTSTRAPPED = False
+
+
+def _ref_of(obj: Any) -> str:
+    """The ``module:qualname`` reference of a module-level callable.
+
+    Empty for factories that are not importable by name (lambdas,
+    nested functions) — callers must treat the ref as advisory.
+    """
+    qualname = getattr(obj, "__qualname__", "")
+    if not qualname or "<" in qualname:
+        return ""
+    return f"{obj.__module__}:{qualname}"
+
+
+@dataclass(frozen=True)
+class ProblemInfo:
+    """One catalog entry: an LCL and what instances it is defined on."""
+
+    name: str
+    factory: Callable[[], Any]
+    description: str = ""
+    #: Instances must satisfy these to be meaningful inputs (None = any).
+    max_degree: int | None = None
+    min_degree: int | None = None
+    min_girth: int | None = None
+    #: The paper's Figure 1 placement, e.g. "Theta(log n)" / "-".
+    paper_det: str = "-"
+    paper_rand: str = "-"
+    #: Custom ``(instance, result) -> None`` check; when None the
+    #: runtime derives one from the factory (ne-LCL verifier, or the
+    #: object's own ``verify``).
+    verifier: Callable[[Any, Any], None] | None = None
+
+    def materialize(self) -> Any:
+        """Build the problem object (an ``NeLCL`` or richer)."""
+        obj = self.factory()
+        make = getattr(obj, "problem", None)
+        return make() if callable(make) else obj
+
+
+@dataclass(frozen=True)
+class SolverInfo:
+    """One catalog entry: a solver, its problem, and where it is sound."""
+
+    name: str
+    problem: str
+    factory: Callable[[], Any]
+    randomized: bool
+    families: tuple[str, ...]
+    description: str = ""
+    #: Importable ``module:qualname`` of the factory when it is a
+    #: module-level class/function, "" otherwise (e.g. lambdas).
+    #: Advisory — shown by ``describe``; specs always go through
+    #: :mod:`repro.runtime.entrypoints`.
+    ref: str = ""
+
+    def sound_on(self, family_name: str) -> bool:
+        return family_name in self.families
+
+
+@dataclass(frozen=True)
+class FamilyInfo:
+    """One catalog entry: an instance family and its guarantees."""
+
+    name: str
+    builder: Callable[..., Any]
+    description: str = ""
+    #: Structural guarantees over every produced instance.
+    max_degree: int | None = None
+    min_degree: int | None = None
+    girth_at_least: int | None = None
+    #: What the size parameter means: "nodes" (approximate node count)
+    #: or "height" (construction parameter; node count grows ~2^size).
+    size_kind: str = "nodes"
+    #: Small sizes the conformance suite exercises.
+    test_sizes: tuple[int, ...] = (8, 17)
+    #: Size grid for sweeps up to a node budget; None = geometric
+    #: powers-of-two grid from 64.
+    grid: Callable[[int], tuple[int, ...]] | None = None
+
+    def sweep_sizes(self, max_n: int) -> tuple[int, ...]:
+        """The family's size grid capped by a node budget (may be empty)."""
+        if self.grid is not None:
+            return self.grid(max_n)
+        ns: list[int] = []
+        n = 64
+        while n <= max_n:
+            ns.append(n)
+            n *= 2
+        return tuple(ns)
+
+
+def _register(catalog: dict[str, Any], info: Any) -> None:
+    existing = catalog.get(info.name)
+    if existing is not None and existing != info:
+        raise ValueError(
+            f"{type(info).__name__} {info.name!r} is already registered "
+            f"with different settings"
+        )
+    catalog[info.name] = info
+
+
+def register_problem(
+    name: str,
+    *,
+    description: str = "",
+    max_degree: int | None = None,
+    min_degree: int | None = None,
+    min_girth: int | None = None,
+    paper_det: str = "-",
+    paper_rand: str = "-",
+    verifier: Callable[[Any, Any], None] | None = None,
+):
+    """Class/function decorator (or plain call) adding a problem entry.
+
+    The decorated object must be a zero-argument callable whose result
+    is either an ``NeLCL`` or an object with a ``problem()`` method
+    producing one (the repo's factory-class idiom), or itself an object
+    with a ``verify(graph, inputs, outputs)`` method (padded problems).
+    """
+
+    def decorate(factory: Callable[[], Any]):
+        _register(
+            _PROBLEMS,
+            ProblemInfo(
+                name=name,
+                factory=factory,
+                description=description,
+                max_degree=max_degree,
+                min_degree=min_degree,
+                min_girth=min_girth,
+                paper_det=paper_det,
+                paper_rand=paper_rand,
+                verifier=verifier,
+            ),
+        )
+        return factory
+
+    return decorate
+
+
+def register_solver(
+    name: str,
+    *,
+    problem: str,
+    families: tuple[str, ...] | list[str],
+    randomized: bool | None = None,
+    description: str = "",
+):
+    """Class/function decorator (or plain call) adding a solver entry.
+
+    The decorated object must be a zero-argument factory producing a
+    solver the :class:`~repro.runtime.driver.Runtime` adapter can
+    execute (``solve``, ``node_factory``/``finish``, or ``run_views``
+    — see the driver module).  ``randomized`` defaults to the solver
+    class's ``randomized`` attribute.
+    """
+
+    def decorate(factory: Callable[[], Any]):
+        is_rand = randomized
+        if is_rand is None:
+            is_rand = bool(getattr(factory, "randomized", False))
+        _register(
+            _SOLVERS,
+            SolverInfo(
+                name=name,
+                problem=problem,
+                factory=factory,
+                randomized=is_rand,
+                families=tuple(families),
+                description=description,
+                ref=_ref_of(factory),
+            ),
+        )
+        return factory
+
+    return decorate
+
+
+def register_family(
+    name: str,
+    *,
+    description: str = "",
+    max_degree: int | None = None,
+    min_degree: int | None = None,
+    girth_at_least: int | None = None,
+    size_kind: str = "nodes",
+    test_sizes: tuple[int, ...] = (8, 17),
+    grid: Callable[[int], tuple[int, ...]] | None = None,
+):
+    """Function decorator adding an instance-family entry.
+
+    The decorated builder is called as ``builder(n, seed, **params)``
+    and must return a :class:`~repro.local.algorithm.Instance`.
+    """
+    if size_kind not in ("nodes", "height"):
+        raise ValueError(f"unknown size_kind {size_kind!r}")
+
+    def decorate(builder: Callable[..., Any]):
+        _register(
+            _FAMILIES,
+            FamilyInfo(
+                name=name,
+                builder=builder,
+                description=description,
+                max_degree=max_degree,
+                min_degree=min_degree,
+                girth_at_least=girth_at_least,
+                size_kind=size_kind,
+                test_sizes=tuple(test_sizes),
+                grid=grid,
+            ),
+        )
+        return builder
+
+    return decorate
+
+
+def ensure_registered() -> None:
+    """Import every registering module once; idempotent and cheap after."""
+    global _BOOTSTRAPPED
+    if _BOOTSTRAPPED:
+        return
+    _BOOTSTRAPPED = True
+    try:
+        for module in _REGISTERING_MODULES:
+            importlib.import_module(module)
+    except Exception:
+        # A failed bootstrap must be retryable, not silently half-done.
+        _BOOTSTRAPPED = False
+        raise
+
+
+def problems() -> dict[str, ProblemInfo]:
+    ensure_registered()
+    return dict(_PROBLEMS)
+
+
+def solvers() -> dict[str, SolverInfo]:
+    ensure_registered()
+    return dict(_SOLVERS)
+
+
+def families() -> dict[str, FamilyInfo]:
+    ensure_registered()
+    return dict(_FAMILIES)
+
+
+def _lookup(catalog: dict[str, Any], name: str, kind: str) -> Any:
+    ensure_registered()
+    try:
+        return catalog[name]
+    except KeyError:
+        known = ", ".join(sorted(catalog))
+        raise KeyError(f"unknown {kind} {name!r} (known: {known})") from None
+
+
+def problem(name: str) -> ProblemInfo:
+    return _lookup(_PROBLEMS, name, "problem")
+
+
+def solver(name: str) -> SolverInfo:
+    return _lookup(_SOLVERS, name, "solver")
+
+
+def family(name: str) -> FamilyInfo:
+    return _lookup(_FAMILIES, name, "family")
+
+
+def solvers_for(problem_name: str) -> list[SolverInfo]:
+    """All registered solvers of one problem, name-sorted."""
+    ensure_registered()
+    return sorted(
+        (s for s in _SOLVERS.values() if s.problem == problem_name),
+        key=lambda s: s.name,
+    )
+
+
+def compatible(problem_info: ProblemInfo, family_info: FamilyInfo) -> bool:
+    """Do the family's guarantees satisfy the problem's constraints?
+
+    Unknown guarantees (None) are treated as "no promise" and only
+    pass unconstrained problems — soundness declarations must be
+    backed by declared structure.
+    """
+    if problem_info.max_degree is not None:
+        if family_info.max_degree is None:
+            return False
+        if family_info.max_degree > problem_info.max_degree:
+            return False
+    if problem_info.min_degree is not None:
+        if family_info.min_degree is None:
+            return False
+        if family_info.min_degree < problem_info.min_degree:
+            return False
+    if problem_info.min_girth is not None:
+        if family_info.girth_at_least is None:
+            return False
+        if family_info.girth_at_least < problem_info.min_girth:
+            return False
+    return True
+
+
+def sound_triples() -> list[tuple[ProblemInfo, SolverInfo, FamilyInfo]]:
+    """The full (problem, solver, family) cross-product, validated.
+
+    One entry per solver per family the solver declared soundness on.
+    Dangling names or a declared family that violates the problem's
+    structural constraints raise — a mis-registration should fail the
+    conformance suite, not silently shrink the landscape.
+    """
+    ensure_registered()
+    out: list[tuple[ProblemInfo, SolverInfo, FamilyInfo]] = []
+    for solver_info in sorted(_SOLVERS.values(), key=lambda s: s.name):
+        problem_info = problem(solver_info.problem)
+        for family_name in solver_info.families:
+            family_info = family(family_name)
+            if not compatible(problem_info, family_info):
+                raise ValueError(
+                    f"solver {solver_info.name!r} declares soundness on "
+                    f"family {family_name!r}, but that family does not "
+                    f"satisfy problem {problem_info.name!r}'s constraints"
+                )
+            out.append((problem_info, solver_info, family_info))
+    return out

@@ -268,7 +268,7 @@ class TestNamedExperiments:
         )
         assert code == 0
         captured = capsys.readouterr().out
-        assert "sinkless/det" in captured
+        assert "sinkless/sinkless-orientation/sinkless-det@cubic" in captured
         assert "cache hits" in captured
         payload = json.loads(out_json.read_text())
         assert payload["experiment"] == "sinkless"

@@ -1,0 +1,194 @@
+"""Conformance suite for the runtime registry and unified driver.
+
+The heart of it is one parametrized test that pushes *every* sound
+(problem, solver, family) triple through ``Runtime.run`` at small
+sizes and demands a verifier-accepted output — so any future
+registration is correctness-tested for free, and an unsound soundness
+declaration fails loudly here rather than polluting the landscape.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.spec import resolve_ref
+from repro.runtime import Runtime, registry
+from repro.runtime.driver import dispatch_solver
+from repro.runtime.entrypoints import family_ref, solver_ref, verifier_ref
+
+RUNTIME = Runtime()
+TRIPLES = registry.sound_triples()
+TRIPLE_IDS = [f"{s.name}@{f.name}" for _p, s, f in TRIPLES]
+
+
+class TestCatalogs:
+    def test_catalog_minimums(self):
+        """The landscape the paper draws needs this much breadth."""
+        assert len(registry.problems()) >= 8
+        assert len(registry.solvers()) >= 10
+        assert len(registry.families()) >= 6
+        assert len(TRIPLES) >= 20
+
+    def test_every_solver_names_a_registered_problem(self):
+        problems = registry.problems()
+        for info in registry.solvers().values():
+            assert info.problem in problems, info.name
+
+    def test_every_declared_family_exists(self):
+        families = registry.families()
+        for info in registry.solvers().values():
+            for family in info.families:
+                assert family in families, (info.name, family)
+
+    def test_every_problem_has_a_solver(self):
+        for name in registry.problems():
+            assert registry.solvers_for(name), f"problem {name} has no solver"
+
+    def test_unknown_names_raise_with_suggestions(self):
+        with pytest.raises(KeyError, match="unknown solver"):
+            registry.solver("nope")
+        with pytest.raises(KeyError, match="unknown family"):
+            registry.family("nope")
+        with pytest.raises(KeyError, match="unknown problem"):
+            registry.problem("nope")
+
+    def test_duplicate_registration_with_different_settings_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register_family("cubic", description="something else")(
+                lambda n, seed: None
+            )
+
+    def test_entrypoint_refs_resolve(self):
+        """Every registry name round-trips through spec references."""
+        for name, info in registry.solvers().items():
+            assert resolve_ref(solver_ref(name)) is info.factory
+        for name, info in registry.families().items():
+            assert resolve_ref(family_ref(name)) is info.builder
+        for name in registry.problems():
+            assert callable(resolve_ref(verifier_ref(name)))
+
+
+class TestConformance:
+    @pytest.mark.parametrize(
+        ("problem", "solver", "family"),
+        [(p.name, s.name, f.name) for p, s, f in TRIPLES],
+        ids=TRIPLE_IDS,
+    )
+    def test_sound_triple_verifies(self, problem, solver, family):
+        """Every registered combination produces accepted outputs."""
+        family_info = registry.family(family)
+        for n in family_info.test_sizes:
+            record = RUNTIME.run(problem, solver, family, n, seed=1)
+            assert record.verified, record.summary()
+            assert record.rounds == max(record.node_radius, default=0)
+            assert len(record.node_radius) == record.actual_n
+            assert record.wall_time >= 0
+
+    def test_unsound_combinations_rejected(self):
+        with pytest.raises(ValueError, match="not declared sound"):
+            RUNTIME.run("3-coloring-cycles", "cycle-3-coloring", "cubic", 16)
+        with pytest.raises(ValueError, match="solves"):
+            RUNTIME.run("mis", "cycle-3-coloring", "cycle", 8)
+
+    def test_check_sound_false_probes_anyway(self):
+        """Unsound probes run; the verifier reports the truth."""
+        record = RUNTIME.run(
+            "degree-parity", "constant", "cycle", 6, check_sound=False
+        )
+        # the constant solver outputs "ok", not parities
+        assert record.verified is False
+
+    def test_verify_false_skips_verification(self):
+        record = RUNTIME.run("mis", "mis-luby", "cycle", 8, verify=False)
+        assert record.verified is None
+
+
+class TestAdapter:
+    def test_all_three_execution_paths_agree_on_parity(self):
+        """direct / SyncEngine / ViewOracle produce identical labelings."""
+        instance = RUNTIME.build_instance("tree", 15, seed=3)
+        outputs = []
+        for solver in ("parity", "parity-sync", "parity-views"):
+            result = RUNTIME.solve(solver, instance)
+            outputs.append(
+                [result.outputs.node(v) for v in instance.graph.nodes()]
+            )
+            assert result.rounds == 0
+        assert outputs[0] == outputs[1] == outputs[2]
+
+    def test_dispatch_rejects_alien_objects(self):
+        instance = RUNTIME.build_instance("cycle", 5)
+        with pytest.raises(TypeError, match="adapter protocols"):
+            dispatch_solver(object(), instance)
+
+    def test_family_guarantees_hold_on_samples(self):
+        """Registered structural guarantees are true of built instances."""
+        for info in registry.families().values():
+            instance = info.builder(info.test_sizes[0], 0)
+            graph = instance.graph
+            degrees = [graph.degree(v) for v in graph.nodes()]
+            if info.max_degree is not None:
+                assert max(degrees) <= info.max_degree, info.name
+            if info.min_degree is not None:
+                assert min(degrees) >= info.min_degree, info.name
+            if info.girth_at_least is not None:
+                from repro.local.distances import girth
+
+                assert girth(graph) >= info.girth_at_least, info.name
+
+
+class TestEngineIntegration:
+    def test_landscape_is_the_full_cross_product(self):
+        """One spec per sound triple that fits the budget, by reference."""
+        from repro.engine.experiments import build_experiment
+
+        specs = build_experiment("landscape", max_n=128)
+        named = {spec.name for spec in specs}
+        expected = {
+            f"landscape/{p.name}/{s.name}@{f.name}"
+            for p, s, f in TRIPLES
+            if f.sweep_sizes(128)
+        }
+        assert named == expected
+        for spec in specs:
+            assert spec.solver.startswith("repro.runtime.entrypoints:solver__")
+            assert spec.generator.startswith("repro.runtime.entrypoints:family__")
+            assert spec.verifier.startswith("repro.runtime.entrypoints:verifier__")
+
+    def test_registry_spec_runs_through_engine(self):
+        """A registry-generated spec executes on the engine runner."""
+        from repro.engine.experiments import build_experiment
+        from repro.engine.runner import run_experiment
+
+        spec = next(
+            s
+            for s in build_experiment("landscape", max_n=64, seed_count=1)
+            if "mis-color-classes@cycle" in s.name
+        )
+        report = run_experiment(spec, workers=1, cache=None)
+        assert report.trials_total == len(spec.ns)
+        assert all(p.trials >= 1 for p in report.sweep.points)
+
+    def test_cli_list_enumerates_catalogs(self, capsys):
+        from repro.engine.cli import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert f"problems ({len(registry.problems())})" in out
+        assert f"solvers ({len(registry.solvers())})" in out
+        assert "mis-luby" in out and "cubic" in out
+
+    def test_cli_describe(self, capsys):
+        from repro.engine.cli import main
+
+        assert main(["describe", "sinkless-det"]) == 0
+        out = capsys.readouterr().out
+        assert "solves sinkless-orientation" in out
+        assert main(["describe", "nope"]) == 2
+
+    def test_paper_placement_reads_registry(self):
+        from repro.engine.experiments import paper_placement
+
+        det, rand = paper_placement("landscape/sinkless-orientation/x@cubic")
+        assert det == "Theta(log n)" and rand == "Theta(loglog n)"
+        assert paper_placement("weird") == ("-", "-")

@@ -134,11 +134,77 @@ class TestSyncEngine:
         with pytest.raises(RuntimeError):
             SyncEngine(instance, ForeverNode).run(max_rounds=10)
 
+    def test_nonconvergence_carries_diagnostics(self):
+        from repro.local import ConvergenceError
+
+        class ForeverNode(_FloodNode):
+            def outgoing(self, round_index):
+                return [0] * self.degree
+
+        graph = cycle(4)
+        instance = Instance(graph, sequential_ids(4))
+        with pytest.raises(ConvergenceError) as excinfo:
+            SyncEngine(instance, ForeverNode).run(max_rounds=10)
+        err = excinfo.value
+        assert err.max_rounds == 10
+        assert err.active == 4  # nobody ever halts
+        assert len(err.trace) == 10  # the partial trace survives
+        assert all(r.active == 4 for r in err.trace)
+        assert "10 rounds" in str(err) and "4 node(s)" in str(err)
+
     def test_node_radius_uniform(self):
         graph = cycle(6)
         instance = Instance(graph, sequential_ids(6))
         result = SyncEngine(instance, _FloodNode).run()
         assert result.node_radius() == [result.rounds] * 6
+
+    def test_node_radius_per_component(self):
+        """A small and a large component halt at their own eccentricities.
+
+        (Flood nodes count the whole graph as n, but a component is done
+        once its own ids stop being fresh... so pass each component's
+        size via per-node closures instead: each node waits for exactly
+        its component's node count.)
+        """
+        from repro.generators import disjoint_union
+
+        graph = disjoint_union(cycle(3), cycle(7))
+
+        class ComponentFlood(_FloodNode):
+            def __init__(self, v: int, instance: Instance):
+                super().__init__(v, instance)
+                self.n = 3 if v < 3 else 7  # component size, not graph size
+
+        instance = Instance(graph, sequential_ids(10))
+        result = SyncEngine(instance, ComponentFlood).run()
+        # cycle(3) has eccentricity 1, cycle(7) eccentricity 3
+        expected = [1, 1, 1, 3, 3, 3, 3, 3, 3, 3]
+        assert result.node_radius() == expected
+        assert result.halt_rounds == expected
+        assert result.rounds == 3  # the big component halts last
+
+    def test_late_halter_keeps_engine_running(self):
+        """Early halters stop being charged while others continue."""
+
+        class StaggeredNode:
+            def __init__(self, v: int, instance: Instance):
+                self.v = v
+                self.degree = instance.graph.degree(v)
+
+            def outgoing(self, round_index):
+                return None if round_index >= self.v else [0] * self.degree
+
+            def receive(self, round_index, inbox):
+                pass
+
+            def result(self):
+                return self.v
+
+        graph = cycle(5)
+        instance = Instance(graph, sequential_ids(5))
+        result = SyncEngine(instance, StaggeredNode).run()
+        assert result.halt_rounds == [0, 1, 2, 3, 4]
+        assert result.rounds == 4
 
 
 class TestInstance:
