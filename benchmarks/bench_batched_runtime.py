@@ -1,0 +1,202 @@
+"""E11 — batched trial pipeline: the batch as the unit of scheduling.
+
+PR 4's claim: running a seed-batch of trials through
+``Runtime.run_many`` — one solver-factory/verifier setup, one frozen
+topology per size, one verifier skeleton per shared core — beats the
+per-trial path (``Runtime.run`` in a loop, which rebuilds all of that
+per trial) by >= 2x trial throughput on topology-reusable families at
+batch size >= 8, while producing bit-identical records.
+
+Topology-seeded families (the random cubic hard instances) cannot share
+graphs across seeds; their case is reported too as the honest lower
+bound — there the batch only amortizes setup, not construction.
+
+The engine-layer ratio (chunked ``run_experiment`` vs a serial
+``execute_trial`` loop over the same spec) is recorded alongside.
+Emits ``benchmarks/BENCH_batch.json`` via the shared ``report_json``
+hook for cross-PR tracking.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from benchmarks.conftest import report, report_json
+from repro.analysis import render_table
+from repro.engine.runner import execute_trial, run_experiment
+from repro.engine.spec import ExperimentSpec
+from repro.runtime import Runtime, registry
+from repro.runtime.entrypoints import family_ref, solver_ref, verifier_ref
+
+QUICK = bool(os.environ.get("BENCH_QUICK"))
+N = 512 if QUICK else 4096
+SEEDS = tuple(range(8))  # the acceptance bar is batch size >= 8
+REPEATS = 2 if QUICK else 3
+THRESHOLD = 2.0
+
+# (problem, solver, family, reusable topology?)
+CASES = [
+    ("constant", "constant", "cycle", True),
+    ("degree-parity", "parity", "torus", True),
+    ("sinkless-orientation", "sinkless-det", "cubic", False),
+]
+
+
+def _record_key(record):
+    return (
+        record.problem,
+        record.solver,
+        record.family,
+        record.n,
+        record.actual_n,
+        record.seed,
+        record.rounds,
+        tuple(record.node_radius),
+        record.verified,
+        tuple(sorted(record.extras.items())),
+    )
+
+
+def _best_times(runtime, problem, solver, family, n):
+    """Best-of-REPEATS per-trial seconds for both paths, interleaved."""
+    best_per_trial = best_batched = float("inf")
+    per_records = batched_records = None
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        per_records = [
+            runtime.run(problem, solver, family, n, seed) for seed in SEEDS
+        ]
+        best_per_trial = min(
+            best_per_trial, (time.perf_counter() - start) / len(SEEDS)
+        )
+        start = time.perf_counter()
+        batched_records = runtime.run_many(problem, solver, family, [n], SEEDS)
+        best_batched = min(
+            best_batched, (time.perf_counter() - start) / len(SEEDS)
+        )
+    assert per_records is not None and batched_records is not None
+    assert [_record_key(r) for r in per_records] == [
+        _record_key(r) for r in batched_records
+    ], f"{solver}@{family}: batched records diverged from the per-trial path"
+    return best_per_trial, best_batched
+
+
+def _engine_layer_ratio():
+    """Chunked run_experiment vs a serial execute_trial loop, same spec."""
+    spec = ExperimentSpec(
+        name="bench/degree-parity/parity@cycle",
+        solver=solver_ref("parity"),
+        generator=family_ref("cycle"),
+        verifier=verifier_ref("degree-parity"),
+        ns=(N,),
+        seeds=SEEDS,
+    )
+    best_serial = best_chunked = float("inf")
+    chunked = None
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        serial = [execute_trial(trial) for trial in spec.trials()]
+        best_serial = min(best_serial, time.perf_counter() - start)
+        start = time.perf_counter()
+        chunked = run_experiment(spec, workers=1, batch_size=len(SEEDS))
+        best_chunked = min(best_chunked, time.perf_counter() - start)
+    assert chunked is not None and chunked.records == serial
+    return best_serial / len(SEEDS), best_chunked / len(SEEDS)
+
+
+def test_batched_pipeline_throughput():
+    runtime = Runtime()
+    rows = []
+    payload = {}
+    headline = float("inf")
+    for problem, solver, family, reusable in CASES:
+        assert registry.family(family).reusable_topology == reusable
+        per_trial_s, batched_s = _best_times(runtime, problem, solver, family, N)
+        speedup = per_trial_s / batched_s
+        if reusable:
+            headline = min(headline, speedup)
+        rows.append(
+            [
+                f"{solver}@{family}",
+                N,
+                len(SEEDS),
+                "yes" if reusable else "no",
+                round(per_trial_s * 1e3, 2),
+                round(batched_s * 1e3, 2),
+                f"{speedup:.2f}x",
+            ]
+        )
+        payload[f"{solver}@{family}/n={N}"] = {
+            "n": N,
+            "batch": len(SEEDS),
+            "reusable_topology": reusable,
+            "per_trial_ms": per_trial_s * 1e3,
+            "batched_ms": batched_s * 1e3,
+            "speedup": speedup,
+        }
+
+    engine_serial_s, engine_chunked_s = _engine_layer_ratio()
+    engine_speedup = engine_serial_s / engine_chunked_s
+    rows.append(
+        [
+            "engine: parity@cycle",
+            N,
+            len(SEEDS),
+            "yes",
+            round(engine_serial_s * 1e3, 2),
+            round(engine_chunked_s * 1e3, 2),
+            f"{engine_speedup:.2f}x",
+        ]
+    )
+    payload["engine/parity@cycle"] = {
+        "n": N,
+        "batch": len(SEEDS),
+        "per_trial_ms": engine_serial_s * 1e3,
+        "chunked_ms": engine_chunked_s * 1e3,
+        "speedup": engine_speedup,
+    }
+
+    report(
+        render_table(
+            [
+                "case",
+                "n",
+                "batch",
+                "topo reuse",
+                "per-trial ms",
+                "batched ms",
+                "speedup",
+            ],
+            rows,
+            title=(
+                "E11 batched trial pipeline (run_many / chunked engine vs "
+                "per-trial)\n"
+                f"    worst topology-reusable speedup: {headline:.2f}x "
+                f"(bar: >= {THRESHOLD}x, informational in quick mode; "
+                "records bit-identical)"
+            ),
+        )
+    )
+    report_json(
+        "batched_pipeline",
+        {
+            "cases": payload,
+            "headline_speedup": headline,
+            "engine_speedup": engine_speedup,
+            "batch": len(SEEDS),
+            "n": N,
+            "quick": QUICK,
+            "threshold": THRESHOLD,
+        },
+        file="BENCH_batch.json",
+    )
+    # Record bit-identity asserted above is the CI-worthy invariant; the
+    # wall-clock bar only gates full-size runs — quick mode times
+    # millisecond windows on shared CI runners, where a noisy neighbor
+    # could fail it with zero code defect.
+    if not QUICK:
+        assert headline >= THRESHOLD, (
+            f"topology-reusable batch speedup {headline:.2f}x is below "
+            f"{THRESHOLD}x at batch size {len(SEEDS)}"
+        )

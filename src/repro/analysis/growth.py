@@ -16,7 +16,14 @@ from typing import Callable, Sequence
 
 from repro.util.logmath import log_star
 
-__all__ = ["GROWTH_FUNCTIONS", "GrowthFit", "fit_growth", "best_fit", "ratio_series"]
+__all__ = [
+    "GROWTH_FUNCTIONS",
+    "GrowthFit",
+    "fit_growth",
+    "best_fit",
+    "growth_rank",
+    "ratio_series",
+]
 
 
 def _log(n: float) -> float:
@@ -98,6 +105,21 @@ def best_fit(
     candidates: Sequence[str] | None = None,
 ) -> GrowthFit:
     return fit_growth(ns, rounds, candidates)[0]
+
+
+# GROWTH_FUNCTIONS is declared slowest-growing first, so its insertion
+# order doubles as the asymptotic ordering of the candidate classes.
+_GROWTH_ORDER = {name: rank for rank, name in enumerate(GROWTH_FUNCTIONS)}
+
+
+def growth_rank(name: str) -> int:
+    """Position of a growth class in the slowest-to-fastest ordering.
+
+    Lower is asymptotically smaller; use it to compare fitted classes
+    (e.g. pick the solver with the smallest measured growth for a
+    landscape cell).  Unknown class names raise ``KeyError``.
+    """
+    return _GROWTH_ORDER[name]
 
 
 def ratio_series(

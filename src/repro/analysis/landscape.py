@@ -93,22 +93,35 @@ def measure_row(
     )
 
 
+def _growth_sort_key(sweep: Sweep) -> tuple[int, int]:
+    """Order sweeps by fitted asymptotic class, unfittable ones last."""
+    from repro.analysis.growth import growth_rank
+
+    if len(sweep.points) < 3:
+        return (1, 0)  # too few sizes to fit: lose to any fitted sweep
+    fit = best_fit(sweep.ns(), sweep.means())
+    return (0, growth_rank(fit.name))
+
+
 def rows_from_engine_reports(reports: Sequence) -> list[LandscapeRow]:
     """Fold registry-generated engine reports into Figure 1 rows.
 
     Accepts the :class:`~repro.engine.runner.EngineReport` list of the
     ``landscape`` experiment (spec names shaped
     ``landscape/<problem>/<solver>@<family>``) and produces one row per
-    (problem, family) pair: the deterministic and randomized columns
-    are the first registered solver of each kind, in name order — the
-    same convention Figure 1 uses (one representative algorithm per
-    cell).  Reports with foreign spec names are ignored.
+    (problem, family) pair.  When several solvers of one kind cover a
+    cell, the deterministic and randomized columns each show the
+    *best-per-cell* representative: the solver whose measured rounds
+    fit the smallest growth class (ties broken by solver name, sweeps
+    too short to fit ranked last) — a cell's entry is the complexity of
+    the problem, not of whichever algorithm happened to register first.
+    Reports with foreign spec names are ignored.
     """
     from repro.runtime import registry
 
     solvers = registry.solvers()
     problems = registry.problems()
-    cells: dict[tuple[str, str], dict[str, Sweep]] = {}
+    cells: dict[tuple[str, str], dict[str, list[tuple[str, Sweep]]]] = {}
     for report in reports:
         parts = report.spec.name.split("/")
         if len(parts) != 3 or "@" not in parts[2]:
@@ -120,9 +133,15 @@ def rows_from_engine_reports(reports: Sequence) -> list[LandscapeRow]:
             continue
         kind = "rand" if solver_info.randomized else "det"
         cell = cells.setdefault((problem_name, family_name), {})
-        # First solver of the kind in name order wins; reports arrive
-        # in registry (name-sorted) order, so first seen is first named.
-        cell.setdefault(kind, report.sweep)
+        cell.setdefault(kind, []).append((solver_name, report.sweep))
+
+    def best_per_cell(candidates: list[tuple[str, Sweep]] | None) -> Sweep | None:
+        if not candidates:
+            return None
+        return min(
+            candidates, key=lambda entry: (_growth_sort_key(entry[1]), entry[0])
+        )[1]
+
     rows = []
     for (problem_name, family_name), cell in sorted(cells.items()):
         info = problems[problem_name]
@@ -131,8 +150,8 @@ def rows_from_engine_reports(reports: Sequence) -> list[LandscapeRow]:
                 problem=f"{problem_name} @ {family_name}",
                 paper_det=info.paper_det,
                 paper_rand=info.paper_rand,
-                det_sweep=cell.get("det"),
-                rand_sweep=cell.get("rand"),
+                det_sweep=best_per_cell(cell.get("det")),
+                rand_sweep=best_per_cell(cell.get("rand")),
             )
         )
     return rows

@@ -162,6 +162,8 @@ register_solver(
     grid=lambda max_n: tuple(
         h for h in range(2, 8) if 16 * (2 ** (h + 1)) <= max_n
     ),
+    # The cubic base graph is sampled from the seed: no topology sharing.
+    topology_seeded=True,
 )
 def padded_sinkless_instance(height: int, seed: int):
     """A 16-node cubic base padded with gadgets of the given height."""

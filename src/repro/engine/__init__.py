@@ -12,10 +12,12 @@ experiments of :mod:`repro.engine.experiments` from the shell.
 
 from repro.engine.cache import DEFAULT_CACHE_DIR, CacheStats, TrialCache
 from repro.engine.experiments import EXPERIMENTS, build_experiment
-from repro.engine.pool import default_workers, run_tasks
+from repro.engine.pool import default_workers, run_task_batches, run_tasks
 from repro.engine.runner import (
     EngineReport,
+    auto_batch_size,
     execute_trial,
+    execute_trial_batch,
     run_callable_sweep,
     run_experiment,
 )
@@ -37,13 +39,16 @@ __all__ = [
     "ExperimentSpec",
     "TrialCache",
     "TrialSpec",
+    "auto_batch_size",
     "build_experiment",
     "default_workers",
     "execute_trial",
+    "execute_trial_batch",
     "grid",
     "resolve_ref",
     "run_callable_sweep",
     "run_experiment",
+    "run_task_batches",
     "run_tasks",
     "seed_grid",
 ]

@@ -218,6 +218,21 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
         help="number of seeds per point (experiment default otherwise)",
     )
     parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        metavar="COUNT",
+        help=(
+            "trials per worker dispatch chunk (default: auto — covers a "
+            "full seed group, ~4 chunks per worker)"
+        ),
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="render per-trial progress on stderr as chunks complete",
+    )
+    parser.add_argument(
         "--cache-dir",
         default=DEFAULT_CACHE_DIR,
         help=f"trial cache directory (default: {DEFAULT_CACHE_DIR})",
@@ -253,16 +268,51 @@ def _parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _progress_callback(spec_name: str, total: int):
+    """A per-record progress renderer for one spec (stderr, in place)."""
+    state = {"done": 0}
+
+    def on_record(record) -> None:
+        state["done"] += 1
+        print(
+            f"\r{spec_name}: {state['done']}/{total} trials",
+            end="",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    return on_record
+
+
 def _run(args: argparse.Namespace) -> int:
     try:
         specs = build_experiment(args.experiment, args.max_n, args.seeds)
         cache = None if args.no_cache else TrialCache(args.cache_dir)
+        if args.batch_size is not None and args.batch_size < 1:
+            raise ValueError(
+                f"--batch-size must be positive, got {args.batch_size}"
+            )
     except (ValueError, OSError) as err:
         print(f"error: {err}", file=sys.stderr)
         return 2
-    reports = [
-        run_experiment(spec, workers=args.workers, cache=cache) for spec in specs
-    ]
+    reports = []
+    for spec in specs:
+        on_record = None
+        if args.progress:
+            on_record = _progress_callback(
+                spec.name, len(spec.ns) * len(spec.seeds)
+            )
+        reports.append(
+            run_experiment(
+                spec,
+                workers=args.workers,
+                cache=cache,
+                batch_size=args.batch_size,
+                on_record=on_record,
+            )
+        )
+        if args.progress:
+            print(file=sys.stderr)
     print(format_report(reports))
     if args.experiment == "landscape":
         from repro.analysis import render_landscape
@@ -273,9 +323,10 @@ def _run(args: argparse.Namespace) -> int:
             print("\n" + render_landscape(rows))
     total = sum(rep.trials_total for rep in reports)
     hits = sum(rep.cache_hits for rep in reports)
+    batches = sum(rep.batches for rep in reports)
     elapsed = sum(rep.elapsed for rep in reports)
     print(
-        f"\ntotal: {total} trials, {hits} cache hits, "
+        f"\ntotal: {total} trials in {batches} chunk(s), {hits} cache hits, "
         f"{args.workers} worker(s), {elapsed:.2f}s"
     )
     if args.json:

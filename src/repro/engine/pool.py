@@ -26,7 +26,7 @@ import pickle
 import random
 from typing import Any, Callable, Sequence
 
-__all__ = ["default_workers", "run_tasks"]
+__all__ = ["default_workers", "run_task_batches", "run_tasks"]
 
 # Derivation salt for per-worker global-RNG reseeding (mirrors
 # repro.util.rng's golden-ratio mixing).
@@ -50,6 +50,48 @@ def _chunksize(num_tasks: int, workers: int) -> int:
     return max(1, num_tasks // (workers * 4))
 
 
+def _serial_map(
+    fn: Callable[[Any], Any],
+    tasks: Sequence[Any],
+    on_result: Callable[[int, Any], None] | None = None,
+) -> list[Any]:
+    out = []
+    for i, task in enumerate(tasks):
+        result = fn(task)
+        out.append(result)
+        if on_result is not None:
+            on_result(i, result)
+    return out
+
+
+def _make_pool(workers: int, num_tasks: int, pool_seed: int):
+    """A process pool, or None when this platform cannot provide one.
+
+    Only pool *creation* may trigger the serial fallback: an exception
+    raised by a task itself must propagate, not cause a silent re-run.
+    """
+    try:
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+        )
+        return ctx.Pool(
+            processes=min(workers, num_tasks),
+            initializer=_worker_init,
+            initargs=(pool_seed,),
+        )
+    except (OSError, ValueError):
+        return None
+
+
+def _parallel_viable(fn: Callable[[Any], Any], probe: Any) -> bool:
+    try:
+        pickle.dumps(fn)
+        pickle.dumps(probe)
+    except Exception:
+        return False
+    return True
+
+
 def run_tasks(
     fn: Callable[[Any], Any],
     tasks: Sequence[Any],
@@ -64,25 +106,47 @@ def run_tasks(
     """
     tasks = list(tasks)
     if workers <= 1 or len(tasks) <= 1:
-        return [fn(task) for task in tasks]
-    try:
-        pickle.dumps(fn)
-        pickle.dumps(tasks[0])
-    except Exception:
-        return [fn(task) for task in tasks]
-    try:
-        ctx = multiprocessing.get_context(
-            "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
-        )
-        pool = ctx.Pool(
-            processes=min(workers, len(tasks)),
-            initializer=_worker_init,
-            initargs=(pool_seed,),
-        )
-    except (OSError, ValueError):
-        # No usable process pool on this platform -- run serially.  Only
-        # pool *creation* falls back: an exception raised by a trial
-        # itself must propagate, not trigger a silent serial re-run.
-        return [fn(task) for task in tasks]
+        return _serial_map(fn, tasks)
+    if not _parallel_viable(fn, tasks[0]):
+        return _serial_map(fn, tasks)
+    pool = _make_pool(workers, len(tasks), pool_seed)
+    if pool is None:
+        return _serial_map(fn, tasks)
     with pool:
         return pool.map(fn, tasks, chunksize=_chunksize(len(tasks), workers))
+
+
+def run_task_batches(
+    fn: Callable[[Any], Any],
+    batches: Sequence[Any],
+    workers: int = 1,
+    pool_seed: int = 0,
+    on_result: Callable[[int, Any], None] | None = None,
+) -> list[Any]:
+    """Apply ``fn`` to coarse batch payloads, streaming completions.
+
+    The batch entry point for callers that already grouped their work
+    into chunks: each batch is exactly one pickle/IPC round-trip
+    (``chunksize=1`` — no second-level chunking on top of the caller's),
+    and results stream back through ``pool.imap`` in task order, so
+    ``on_result(index, result)`` fires as each batch completes instead
+    of after the whole map.  Order and fallback semantics match
+    :func:`run_tasks`: the returned list is in batch order at any worker
+    count, and platforms without a working pool degrade to a serial
+    loop (where ``on_result`` fires after each batch just the same).
+    """
+    batches = list(batches)
+    if workers <= 1 or len(batches) <= 1:
+        return _serial_map(fn, batches, on_result)
+    if not _parallel_viable(fn, batches[0]):
+        return _serial_map(fn, batches, on_result)
+    pool = _make_pool(workers, len(batches), pool_seed)
+    if pool is None:
+        return _serial_map(fn, batches, on_result)
+    out = []
+    with pool:
+        for i, result in enumerate(pool.imap(fn, batches, chunksize=1)):
+            out.append(result)
+            if on_result is not None:
+                on_result(i, result)
+    return out

@@ -1,18 +1,26 @@
-"""Spec -> pool -> cache orchestration.
+"""Spec -> pool -> cache orchestration, batched.
 
 ``run_experiment`` turns an :class:`~repro.engine.spec.ExperimentSpec`
 into aggregated :class:`~repro.analysis.sweep.SweepPoint` rows:
 
 1. expand the spec into its trial grid (n-major, seed-minor order);
 2. look every trial key up in the cache;
-3. dispatch only the missing trials to the worker pool;
+3. group the missing trials into per-``(spec, n)`` chunks and ship each
+   chunk to the worker pool as ONE task — one pickle/IPC round-trip per
+   chunk, not per trial;
 4. store the freshly computed records;
 5. aggregate all records, in grid order, into a ``Sweep``.
 
-Aggregation is a pure function of the ordered record list, and the
-pool is order-preserving, so the same spec yields bit-identical sweeps
-at any worker count, and a warm cache replays a sweep without running
-a single solver.
+The chunk — not the trial — is the unit of scheduling.  Inside a
+worker, :func:`execute_trial_batch` amortizes everything a chunk's
+trials share: entrypoint references resolve once per worker process
+(the memo survives across chunks of the same spec), families with
+seed-independent topology rebuild only identifiers/inputs/rng on a
+shared frozen graph, and the verifier's configuration skeleton is
+prepared once per shared core.  Records stay bit-identical to the
+serial per-trial path (:func:`execute_trial`) at every worker count and
+batch size, so aggregation — a pure function of the ordered record
+list — cannot tell the difference.
 
 ``run_callable_sweep`` is the in-process path for callers holding live
 solver objects and closures (the legacy ``run_sweep`` signature); it
@@ -24,15 +32,29 @@ from __future__ import annotations
 
 import time
 import zlib
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 from repro.analysis.sweep import Sweep, SweepPoint
 from repro.engine.cache import TrialCache
-from repro.engine.pool import run_tasks
+from repro.engine.pool import run_task_batches
 from repro.engine.spec import ExperimentSpec, TrialSpec, resolve_ref
 
-__all__ = ["EngineReport", "execute_trial", "run_callable_sweep", "run_experiment"]
+__all__ = [
+    "EngineReport",
+    "auto_batch_size",
+    "execute_trial",
+    "execute_trial_batch",
+    "run_callable_sweep",
+    "run_experiment",
+]
+
+# The auto heuristic never picks a chunk larger than this: it bounds
+# both the result pickle and how stale the streaming progress can get.
+# An explicit ``batch_size`` may exceed it (chunks still never span two
+# grid sizes, so len(spec.seeds) remains the effective ceiling then).
+MAX_BATCH_SIZE = 64
 
 
 @dataclass
@@ -47,11 +69,19 @@ class EngineReport:
     computed: int
     elapsed: float
     workers: int
+    #: Worker dispatch accounting: how many chunks the missing trials
+    #: were grouped into, and the per-chunk trial cap used (0 = nothing
+    #: was dispatched).
+    batches: int = 0
+    batch_size: int = 0
 
     def summary(self) -> str:
+        dispatch = ""
+        if self.batches:
+            dispatch = f" in {self.batches} chunk(s) of <= {self.batch_size}"
         return (
             f"{self.spec.name}: {self.trials_total} trials "
-            f"({self.cache_hits} cached, {self.computed} computed) "
+            f"({self.cache_hits} cached, {self.computed} computed{dispatch}) "
             f"on {self.workers} worker(s) in {self.elapsed:.2f}s"
         )
 
@@ -63,6 +93,8 @@ class EngineReport:
             "trials_total": self.trials_total,
             "cache_hits": self.cache_hits,
             "computed": self.computed,
+            "batches": self.batches,
+            "batch_size": self.batch_size,
             "elapsed_s": round(self.elapsed, 4),
             "points": [
                 {
@@ -91,7 +123,9 @@ def execute_trial(trial: TrialSpec) -> dict[str, Any]:
     The trial seed fully determines the instance (generator mixes it
     in) and the solver's randomness (the instance carries a
     ``NodeRng(seed)``), so this function is deterministic in any
-    process.
+    process.  This is the reference per-trial path: no memoization, no
+    topology sharing — the equivalence suite holds the batched path to
+    its records.
     """
     from repro.runtime.driver import dispatch_solver
 
@@ -110,9 +144,179 @@ def execute_trial(trial: TrialSpec) -> dict[str, Any]:
     }
 
 
-def _execute_payload(payload: dict[str, Any]) -> dict[str, Any]:
-    """Module-level pool target: payload dict in, record dict out."""
-    return execute_trial(TrialSpec.from_payload(payload))
+# -- per-worker amortization state --------------------------------------
+#
+# Module globals live once per worker process (and once in the parent
+# for the serial path), so chunks of the same spec arriving at the same
+# worker pay reference resolution, topology builds, and verifier
+# skeleton preparation only once.
+
+_RESOLVED: dict[str, Any] = {}
+_PREPARED_CAP = 8
+_PREPARED: "OrderedDict[tuple, Any]" = OrderedDict()
+_WORKER_INSTANCES = None  # lazily constructed InstanceCache
+
+
+def _resolved(ref: str) -> Any:
+    """resolve_ref with a per-process memo (resolution is deterministic)."""
+    obj = _RESOLVED.get(ref)
+    if obj is None:
+        obj = resolve_ref(ref)
+        _RESOLVED[ref] = obj
+    return obj
+
+
+def _worker_instances():
+    from repro.runtime.driver import InstanceCache
+
+    global _WORKER_INSTANCES
+    if _WORKER_INSTANCES is None:
+        _WORKER_INSTANCES = InstanceCache(capacity=_PREPARED_CAP)
+    return _WORKER_INSTANCES
+
+
+def _registry_family(generator_ref: str):
+    """The FamilyInfo behind an entrypoints generator ref, else None."""
+    from repro.runtime import registry
+    from repro.runtime.entrypoints import parse_entrypoint
+
+    parsed = parse_entrypoint(generator_ref)
+    if parsed is None or parsed[0] != "family":
+        return None
+    return registry.family(parsed[1])
+
+
+def _prepared_checker(verifier_ref: str, core_key, instance):
+    """A PreparedVerifier for (problem behind ref, shared core), or None.
+
+    Only registry verifier refs over plain ne-LCL problems are
+    preparable.  Caching policy (rebuild on new key or evicted core) is
+    :func:`repro.runtime.driver.cached_prepared_verifier`, shared with
+    ``TrialBatch``; this memo only adds the per-worker LRU bound, with
+    hits refreshed so hot skeletons survive interleaved specs.
+    """
+    from repro.runtime import registry
+    from repro.runtime.driver import cached_prepared_verifier
+    from repro.runtime.entrypoints import parse_entrypoint
+
+    parsed = parse_entrypoint(verifier_ref)
+    if parsed is None or parsed[0] != "verifier":
+        return None
+    key = (verifier_ref,) + tuple(core_key)
+    prepared = cached_prepared_verifier(
+        _PREPARED, key, registry.problem(parsed[1]), instance
+    )
+    _PREPARED.move_to_end(key)
+    if len(_PREPARED) > _PREPARED_CAP:
+        _PREPARED.popitem(last=False)
+    return prepared
+
+
+def execute_trial_batch(trials: Sequence[TrialSpec]) -> list[dict[str, Any]]:
+    """Run a chunk of same-spec trials with shared per-batch setup.
+
+    All trials must share their solver/generator/verifier references
+    (they come from one spec).  Per-trial records are exactly what
+    :func:`execute_trial` produces, including the verifier raising
+    ``AssertionError`` on a rejected output — only the setup work is
+    amortized, never the per-trial solve or check.
+    """
+    from repro.runtime.driver import dispatch_solver
+
+    if not trials:
+        return []
+    head = trials[0]
+    for trial in trials:
+        if (trial.solver, trial.generator, trial.verifier) != (
+            head.solver, head.generator, head.verifier
+        ):
+            raise ValueError(
+                "a trial batch must share solver/generator/verifier refs"
+            )
+    solver_factory = _resolved(head.solver)
+    generator = _resolved(head.generator)
+    checker = _resolved(head.verifier) if head.verifier else None
+    family_info = _registry_family(head.generator)
+    instances = _worker_instances()
+    records = []
+    for trial in trials:
+        if family_info is not None:
+            instance, core_key = instances.build(
+                family_info, trial.n, trial.seed, dict(trial.params)
+            )
+        else:
+            instance = generator(trial.n, trial.seed, **dict(trial.params))
+            core_key = None
+        result = dispatch_solver(solver_factory(), instance)
+        if head.verifier:
+            prepared = (
+                _prepared_checker(head.verifier, core_key, instance)
+                if core_key is not None
+                else None
+            )
+            if prepared is not None:
+                verdict = prepared.verify(result.outputs)
+                assert verdict.ok, (
+                    f"{prepared.problem.name}: {verdict.summary()}"
+                )
+            else:
+                assert checker is not None
+                checker(instance, result)
+        records.append(
+            {
+                "n": trial.n,
+                "actual_n": instance.graph.num_nodes,
+                "seed": trial.seed,
+                "rounds": result.rounds,
+                "extras": _json_safe_extras(result.extras),
+            }
+        )
+    return records
+
+
+def _execute_batch_payload(payload: dict[str, Any]) -> list[dict[str, Any]]:
+    """Module-level pool target: chunk payload in, record list out."""
+    return execute_trial_batch(
+        [TrialSpec.from_payload(entry) for entry in payload["trials"]]
+    )
+
+
+def auto_batch_size(num_missing: int, workers: int, seeds_per_n: int) -> int:
+    """The default chunk size when the caller does not pin one.
+
+    Large enough that one chunk usually covers a full seed group (so
+    topology reuse sees every seed of a size), small enough to leave
+    ~4 chunks per worker for load balancing, and capped at
+    ``MAX_BATCH_SIZE`` to bound pickle sizes.
+    """
+    if num_missing <= 0:
+        return 1
+    balance = -(-num_missing // (max(workers, 1) * 4))  # ceil division
+    return max(1, min(MAX_BATCH_SIZE, max(balance, seeds_per_n)))
+
+
+def _chunk_missing(
+    trials: Sequence[TrialSpec], missing: Sequence[int], batch_size: int
+) -> list[list[int]]:
+    """Group missing trial indices into per-n chunks of <= batch_size.
+
+    ``missing`` is in grid (n-major, seed-minor) order; a chunk never
+    spans two sizes, so every chunk is a run of seeds over one frozen
+    topology.
+    """
+    chunks: list[list[int]] = []
+    current: list[int] = []
+    current_n: int | None = None
+    for i in missing:
+        n = trials[i].n
+        if current and (n != current_n or len(current) >= batch_size):
+            chunks.append(current)
+            current = []
+        current_n = n
+        current.append(i)
+    if current:
+        chunks.append(current)
+    return chunks
 
 
 def aggregate_points(
@@ -152,9 +356,20 @@ def run_experiment(
     spec: ExperimentSpec,
     workers: int = 1,
     cache: TrialCache | None = None,
+    batch_size: int | None = None,
+    on_record: Callable[[dict[str, Any]], None] | None = None,
 ) -> EngineReport:
-    """Run (or replay) one experiment spec and aggregate its sweep."""
+    """Run (or replay) one experiment spec and aggregate its sweep.
+
+    ``batch_size`` caps how many trials travel in one worker dispatch
+    chunk (None = :func:`auto_batch_size`); chunks never span two grid
+    sizes.  ``on_record`` streams results: it fires once per record —
+    immediately (in grid order) for cache hits, then as each computed
+    chunk completes, in chunk order at any worker count.
+    """
     start = time.perf_counter()
+    if batch_size is not None and batch_size < 1:
+        raise ValueError(f"batch size must be positive, got {batch_size}")
     trials = spec.trials()
     keys = [trial.key() for trial in trials]
     records: list[dict[str, Any] | None] = [None] * len(trials)
@@ -167,23 +382,45 @@ def run_experiment(
     else:
         missing = list(range(len(trials)))
     cache_hits = len(trials) - len(missing)
+    if on_record is not None:
+        for i, record in enumerate(records):
+            if record is not None:
+                on_record(record)
 
+    chunks: list[list[int]] = []
     if missing:
-        payloads = [trials[i].to_payload() for i in missing]
-        computed = run_tasks(
-            _execute_payload,
+        if batch_size is None:
+            batch_size = auto_batch_size(len(missing), workers, len(spec.seeds))
+        chunks = _chunk_missing(trials, missing, batch_size)
+        payloads = [
+            {"trials": [trials[i].to_payload() for i in chunk]}
+            for chunk in chunks
+        ]
+
+        def deliver(chunk_pos: int, chunk_records: list[dict[str, Any]]) -> None:
+            indices = chunks[chunk_pos]
+            if len(chunk_records) != len(indices):
+                raise ValueError(
+                    f"chunk {chunk_pos} returned {len(chunk_records)} records "
+                    f"for {len(indices)} trials"
+                )
+            for i, record in zip(indices, chunk_records):
+                records[i] = record
+                if on_record is not None:
+                    on_record(record)
+
+        run_task_batches(
+            _execute_batch_payload,
             payloads,
             workers=workers,
             pool_seed=zlib.crc32(spec.name.encode()),
+            on_result=deliver,
         )
-        for i, record in zip(missing, computed):
-            records[i] = record
         if cache is not None:
             cache.put_many((keys[i], records[i]) for i in missing)
 
-    solver_name = getattr(spec.make_solver(), "name", spec.solver)
     sweep = Sweep(
-        solver_name=solver_name,
+        solver_name=spec.solver_display_name(),
         points=aggregate_points(spec.ns, spec.seeds, records),
     )
     return EngineReport(
@@ -195,6 +432,8 @@ def run_experiment(
         computed=len(missing),
         elapsed=time.perf_counter() - start,
         workers=workers,
+        batches=len(chunks),
+        batch_size=batch_size or 0,
     )
 
 

@@ -156,6 +156,25 @@ class ExperimentSpec:
     def make_solver(self) -> Any:
         return resolve_ref(self.solver)()
 
+    def solver_display_name(self) -> str:
+        """The ``.name`` the spec's solver objects carry, lazily.
+
+        Registry-generated specs answer from the catalog without
+        materializing a solver (class factories expose ``name`` as a
+        class attribute; the rest memoize one materialization per
+        process), so a warm-cache replay never constructs a solver just
+        to label its sweep.  Hand-written refs keep the legacy
+        behavior: build one and read its ``name``.
+        """
+        from repro.runtime.entrypoints import parse_entrypoint
+
+        parsed = parse_entrypoint(self.solver)
+        if parsed is not None and parsed[0] == "solver":
+            from repro.runtime import registry
+
+            return registry.solver_display_name(parsed[1])
+        return getattr(self.make_solver(), "name", self.solver)
+
     def make_generator(self) -> Callable[..., Any]:
         return resolve_ref(self.generator)
 

@@ -57,6 +57,23 @@ class GadgetProverSolver:
         )
 
 
+def _gadget_topology(height: int):
+    """The frozen core: one built gadget (graph + membership inputs)."""
+    from repro.gadgets.family import LogGadgetFamily
+
+    return LogGadgetFamily(3).member_with_height(height)
+
+
+def _gadget_dress(built, height: int, seed: int):
+    del height, seed  # the gadget family is deterministic per height
+    from repro.local.algorithm import Instance
+    from repro.local.identifiers import sequential_ids
+
+    return Instance(
+        built.graph, sequential_ids(built.graph.num_nodes), built.inputs
+    )
+
+
 @register_family(
     "gadget",
     description="one valid (log, 3)-gadget of height h (size ~3 * 2^h)",
@@ -65,15 +82,10 @@ class GadgetProverSolver:
     size_kind="height",
     test_sizes=(3,),
     grid=lambda max_n: tuple(h for h in range(3, 11) if 2 ** (h + 1) <= max_n),
+    topology_seeded=False,
+    topology=_gadget_topology,
+    dress=_gadget_dress,
 )
 def gadget_instance(height: int, seed: int):
     """One valid gadget of the family, as a prover instance."""
-    del seed  # the gadget family is deterministic per height
-    from repro.gadgets.family import LogGadgetFamily
-    from repro.local.algorithm import Instance
-    from repro.local.identifiers import sequential_ids
-
-    built = LogGadgetFamily(3).member_with_height(height)
-    return Instance(
-        built.graph, sequential_ids(built.graph.num_nodes), built.inputs
-    )
+    return _gadget_dress(_gadget_topology(height), height, seed)

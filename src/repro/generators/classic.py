@@ -112,6 +112,12 @@ def with_isolated_nodes(graph: PortGraph, count: int) -> PortGraph:
 
 
 # -- registered instance families --------------------------------------
+#
+# Every classic family's graph depends on ``n`` alone; the seed only
+# selects identifiers and the per-node randomness.  Each registration
+# therefore declares ``topology_seeded=False`` and splits the builder
+# into the frozen ``topology`` (shared across seeds by batched drivers)
+# and the cheap per-seed ``_instance`` dressing.
 
 
 def _instance(graph: PortGraph, n: int, seed: int):
@@ -126,12 +132,25 @@ def _instance(graph: PortGraph, n: int, seed: int):
     )
 
 
+def _torus_topology(n: int) -> PortGraph:
+    side = max(3, math.isqrt(max(n, 1)))
+    return torus_grid(side, side)
+
+
+def _tree_topology(n: int) -> PortGraph:
+    height = max(1, (max(n, 1) + 1).bit_length() - 1)
+    return complete_binary_tree(height)
+
+
 @register_family(
     "cycle",
     description="the n-cycle with random identifiers",
     max_degree=2,
     min_degree=2,
     test_sizes=(5, 12),
+    topology_seeded=False,
+    topology=cycle,
+    dress=_instance,
 )
 def cycle_instance(n: int, seed: int):
     """A cycle with random identifiers (trivial / coloring rows)."""
@@ -144,6 +163,9 @@ def cycle_instance(n: int, seed: int):
     max_degree=2,
     min_degree=1,
     test_sizes=(6, 13),
+    topology_seeded=False,
+    topology=path,
+    dress=_instance,
 )
 def path_instance(n: int, seed: int):
     """A path with random identifiers."""
@@ -156,11 +178,13 @@ def path_instance(n: int, seed: int):
     max_degree=4,
     min_degree=4,
     test_sizes=(9, 25),
+    topology_seeded=False,
+    topology=_torus_topology,
+    dress=_instance,
 )
 def torus_instance(n: int, seed: int):
     """A near-square torus grid of roughly n nodes."""
-    side = max(3, math.isqrt(max(n, 1)))
-    return _instance(torus_grid(side, side), n, seed)
+    return _instance(_torus_topology(n), n, seed)
 
 
 @register_family(
@@ -169,8 +193,10 @@ def torus_instance(n: int, seed: int):
     max_degree=3,
     min_degree=1,
     test_sizes=(7, 15),
+    topology_seeded=False,
+    topology=_tree_topology,
+    dress=_instance,
 )
 def tree_instance(n: int, seed: int):
     """The complete binary tree whose size is the largest 2^h - 1 <= n."""
-    height = max(1, (max(n, 1) + 1).bit_length() - 1)
-    return _instance(complete_binary_tree(height), n, seed)
+    return _instance(_tree_topology(n), n, seed)

@@ -27,6 +27,8 @@ __all__ = ["cubic_instance", "padded_hard_instance", "family_hard_instance"]
     max_degree=3,
     min_degree=3,
     test_sizes=(16, 30),
+    # The seed picks the regular graph itself: no topology sharing.
+    topology_seeded=True,
 )
 def cubic_instance(n: int, seed: int) -> Instance:
     """A random 3-regular instance with random identifiers."""

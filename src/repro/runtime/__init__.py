@@ -28,30 +28,47 @@ from repro.runtime.registry import (
     register_problem,
     register_solver,
     solver,
+    solver_display_name,
     solvers,
     solvers_for,
     sound_triples,
 )
-from repro.runtime.driver import Runtime, TrialRecord, dispatch_solver, verifier_for
-from repro.runtime.entrypoints import family_ref, solver_ref, verifier_ref
+from repro.runtime.driver import (
+    InstanceCache,
+    Runtime,
+    TrialBatch,
+    TrialRecord,
+    dispatch_solver,
+    verifier_for,
+)
+from repro.runtime.entrypoints import (
+    family_ref,
+    parse_entrypoint,
+    solver_ref,
+    verifier_ref,
+)
 
 __all__ = [
     "FamilyInfo",
+    "InstanceCache",
     "ProblemInfo",
     "Runtime",
     "SolverInfo",
+    "TrialBatch",
     "TrialRecord",
     "dispatch_solver",
     "ensure_registered",
     "families",
     "family",
     "family_ref",
+    "parse_entrypoint",
     "problem",
     "problems",
     "register_family",
     "register_problem",
     "register_solver",
     "solver",
+    "solver_display_name",
     "solver_ref",
     "solvers",
     "solvers_for",

@@ -23,11 +23,13 @@ reduce to calls into this driver.
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Sequence
 
 from repro.lcl.assignment import Labeling
 from repro.lcl.problem import NeLCL
+from repro.lcl.verifier import PreparedVerifier
 from repro.lcl.verifier import verify as lcl_verify
 from repro.local.algorithm import Instance, RunResult
 from repro.local.simulator import SyncEngine
@@ -35,7 +37,16 @@ from repro.local.views import ViewOracle
 from repro.runtime import registry
 from repro.runtime.registry import FamilyInfo, ProblemInfo, SolverInfo
 
-__all__ = ["Runtime", "TrialRecord", "dispatch_solver", "verifier_for"]
+__all__ = [
+    "InstanceCache",
+    "Runtime",
+    "TrialBatch",
+    "TrialRecord",
+    "cached_prepared_verifier",
+    "dispatch_solver",
+    "prepared_verifier_for",
+    "verifier_for",
+]
 
 
 @dataclass
@@ -116,9 +127,15 @@ def verifier_for(problem_info: ProblemInfo) -> Callable[[Instance, RunResult], N
     """
     if problem_info.verifier is not None:
         return problem_info.verifier
+    # The problem object is materialized on first use and then reused:
+    # problems are stateless, and a batch of trials sharing one closure
+    # should not rebuild label sets and constraint tables per trial.
+    problem_cell: list[Any] = []
 
     def check(instance: Instance, result: RunResult) -> None:
-        problem_obj = problem_info.materialize()
+        if not problem_cell:
+            problem_cell.append(problem_info.materialize())
+        problem_obj = problem_cell[0]
         inputs = instance.inputs
         if inputs is None:
             inputs = Labeling(instance.graph)
@@ -132,6 +149,207 @@ def verifier_for(problem_info: ProblemInfo) -> Callable[[Instance, RunResult], N
         )
 
     return check
+
+
+def prepared_verifier_for(
+    problem_info: ProblemInfo, instance: Instance
+) -> PreparedVerifier | None:
+    """A skeleton-precomputed verifier for trials sharing this instance's
+    graph and inputs, or None when the problem does not go through the
+    plain ne-LCL check (custom verifiers, padded problems).
+
+    A returned verifier accepts exactly the outputs
+    :func:`verifier_for`'s closure accepts; callers reuse it only for
+    instances whose ``graph``/``inputs`` are identical objects.
+    """
+    if problem_info.verifier is not None:
+        return None
+    problem_obj = problem_info.materialize()
+    if not isinstance(problem_obj, NeLCL):
+        return None
+    return PreparedVerifier(problem_obj, instance.graph, instance.inputs)
+
+
+_MISSING_PREPARED = object()
+
+
+def cached_prepared_verifier(
+    cache: dict, key: Any, problem_info: ProblemInfo, instance: Instance
+) -> PreparedVerifier | None:
+    """Get-or-rebuild policy for a cache of prepared verifiers.
+
+    ``cache`` maps core keys to ``PreparedVerifier | None`` (None =
+    problem not preparable, cached so the probe runs once per core).
+    The entry is rebuilt when the key is new or when the cached
+    skeleton's graph/inputs identity no longer matches the instance
+    (the shared core was evicted and rebuilt).  Both batch layers —
+    :class:`TrialBatch` and the engine's per-worker memo — share this
+    one staleness rule.
+    """
+    entry = cache.get(key, _MISSING_PREPARED)
+    if entry is _MISSING_PREPARED or (
+        entry is not None
+        and (
+            entry.graph is not instance.graph
+            or entry.inputs_src is not instance.inputs
+        )
+    ):
+        entry = prepared_verifier_for(problem_info, instance)
+        cache[key] = entry
+    return entry
+
+
+class InstanceCache:
+    """Frozen-topology cores shared across the seeds of one size.
+
+    Families that declare ``topology_seeded=False`` with the
+    ``topology``/``dress`` split build their immutable core (the frozen
+    :class:`~repro.local.graphs.PortGraph`, plus any other
+    seed-independent state) once per ``(family, n)`` and re-dress it per
+    seed with the cheap mutable parts — identifiers, inputs labeling,
+    ``NodeRng``.  Seeded-topology families and parameterized builds
+    always fall through to the full builder, so records stay
+    bit-identical to the per-trial path either way.
+    """
+
+    def __init__(self, capacity: int = 8):
+        if capacity < 1:
+            raise ValueError("instance cache needs capacity >= 1")
+        self.capacity = capacity
+        self._cores: OrderedDict[tuple[str, int], Any] = OrderedDict()
+        self.built = 0
+        self.reused = 0
+        self.bypassed = 0
+
+    def build(
+        self,
+        family_info: FamilyInfo,
+        n: int,
+        seed: int,
+        params: dict[str, Any] | None = None,
+    ) -> tuple[Instance, tuple[str, int] | None]:
+        """Build one instance, reusing the frozen core when allowed.
+
+        Returns ``(instance, core_key)``; ``core_key`` is None when the
+        full builder ran (seeded topology, extra params), and the cache
+        key of the shared core otherwise — batch drivers key their
+        per-core state (e.g. prepared verifiers) on it.
+        """
+        if params or not family_info.reusable_topology:
+            self.bypassed += 1
+            return family_info.builder(n, seed, **(params or {})), None
+        key = (family_info.name, n)
+        core = self._cores.get(key)
+        if core is None:
+            assert family_info.topology is not None
+            core = family_info.topology(n)
+            self._cores[key] = core
+            if len(self._cores) > self.capacity:
+                self._cores.popitem(last=False)
+            self.built += 1
+        else:
+            self._cores.move_to_end(key)
+            self.reused += 1
+        assert family_info.dress is not None
+        return family_info.dress(core, n, seed), key
+
+
+class TrialBatch:
+    """Amortized execution of many trials of one (problem, solver, family).
+
+    The per-trial path (:meth:`Runtime.run`) re-resolves the three
+    catalog entries, rebuilds the verifier closure, re-materializes the
+    problem object, and rebuilds the instance from scratch on every
+    call.  A batch does that setup once: the solver factory and
+    verifier closure are materialized at construction, frozen topology
+    is shared across seeds through an :class:`InstanceCache`, and a
+    :class:`~repro.lcl.verifier.PreparedVerifier` is kept per shared
+    core.  :meth:`run_one` produces records bit-identical to
+    ``Runtime.run`` (wall time aside).
+    """
+
+    def __init__(
+        self,
+        problem: str,
+        solver: str,
+        family: str,
+        *,
+        verify: bool = True,
+        check_sound: bool = True,
+        instances: InstanceCache | None = None,
+    ):
+        registry.ensure_registered()
+        self.problem_info = registry.problem(problem)
+        self.solver_info = registry.solver(solver)
+        self.family_info = registry.family(family)
+        if check_sound:
+            if self.solver_info.problem != self.problem_info.name:
+                raise ValueError(
+                    f"solver {solver!r} solves {self.solver_info.problem!r}, "
+                    f"not {problem!r}"
+                )
+            if not self.solver_info.sound_on(self.family_info.name):
+                raise ValueError(
+                    f"solver {solver!r} is not declared sound on family "
+                    f"{family!r} (sound on: "
+                    f"{', '.join(self.solver_info.families)})"
+                )
+        self.instances = instances if instances is not None else InstanceCache()
+        self._solver_factory = self.solver_info.factory
+        self._verify = verify
+        self._checker = verifier_for(self.problem_info) if verify else None
+        # core_key -> PreparedVerifier, or None when the problem is not
+        # preparable (custom / padded verification).  Bounded like the
+        # instance cache: a skeleton pins its core's graph, so letting
+        # this grow past the core capacity would defeat that cap's
+        # memory bound over long size grids.
+        self._prepared: OrderedDict[tuple[str, int], PreparedVerifier | None] = (
+            OrderedDict()
+        )
+
+    def _check(self, instance: Instance, result: RunResult, core_key) -> None:
+        if core_key is not None:
+            prepared = cached_prepared_verifier(
+                self._prepared, core_key, self.problem_info, instance
+            )
+            self._prepared.move_to_end(core_key)
+            if len(self._prepared) > self.instances.capacity:
+                self._prepared.popitem(last=False)
+            if prepared is not None:
+                verdict = prepared.verify(result.outputs)
+                assert verdict.ok, (
+                    f"{self.problem_info.name}: {verdict.summary()}"
+                )
+                return
+        assert self._checker is not None
+        self._checker(instance, result)
+
+    def run_one(self, n: int, seed: int = 0) -> TrialRecord:
+        """One trial through the amortized pipeline."""
+        start = time.perf_counter()
+        instance, core_key = self.instances.build(self.family_info, n, seed)
+        result = dispatch_solver(self._solver_factory(), instance)
+        verified: bool | None = None
+        if self._verify:
+            verified = True
+            try:
+                self._check(instance, result, core_key)
+            except AssertionError:
+                verified = False
+        return TrialRecord(
+            problem=self.problem_info.name,
+            solver=self.solver_info.name,
+            family=self.family_info.name,
+            n=n,
+            actual_n=instance.graph.num_nodes,
+            seed=seed,
+            rounds=result.rounds,
+            node_radius=list(result.node_radius),
+            outputs=result.outputs,
+            verified=verified,
+            wall_time=time.perf_counter() - start,
+            extras=dict(result.extras),
+        )
 
 
 class Runtime:
@@ -223,3 +441,27 @@ class Runtime:
             wall_time=time.perf_counter() - start,
             extras=dict(result.extras),
         )
+
+    def run_many(
+        self,
+        problem: str,
+        solver: str,
+        family: str,
+        ns: Sequence[int],
+        seeds: Sequence[int] = (0,),
+        verify: bool = True,
+        check_sound: bool = True,
+    ) -> list[TrialRecord]:
+        """Batched :meth:`run` over the (ns x seeds) grid, n-major.
+
+        The batch is the unit of scheduling: catalog lookups, soundness
+        checks, the solver factory, and the verifier closure are set up
+        once; families with seed-independent topology share one frozen
+        core (and one prepared verifier skeleton) across all seeds of a
+        size.  Records are bit-identical to calling :meth:`run` per
+        trial — only ``wall_time`` may differ.
+        """
+        batch = TrialBatch(
+            problem, solver, family, verify=verify, check_sound=check_sound
+        )
+        return [batch.run_one(n, seed) for n in ns for seed in seeds]

@@ -22,9 +22,26 @@ from typing import Any
 
 from repro.runtime import registry
 
-__all__ = ["family_ref", "solver_ref", "verifier_ref"]
+__all__ = ["family_ref", "parse_entrypoint", "solver_ref", "verifier_ref"]
 
 _MODULE = __name__
+
+
+def parse_entrypoint(ref: str) -> tuple[str, str] | None:
+    """Invert a spec reference back into ``(kind, registered name)``.
+
+    Returns ``("solver" | "family" | "verifier", name)`` when ``ref``
+    points into this module, ``None`` for any other reference (legacy
+    hand-written specs) — which lets batch drivers recover the registry
+    entry behind a ref without resolving or materializing anything.
+    """
+    module, _, attr = ref.partition(":")
+    if module != _MODULE:
+        return None
+    kind, sep, slug = attr.partition("__")
+    if not sep or not slug or kind not in ("solver", "family", "verifier"):
+        return None
+    return kind, slug
 
 
 def solver_ref(name: str) -> str:

@@ -48,6 +48,7 @@ __all__ = [
     "register_problem",
     "register_solver",
     "solver",
+    "solver_display_name",
     "solvers",
     "solvers_for",
     "sound_triples",
@@ -145,6 +146,30 @@ class FamilyInfo:
     #: Size grid for sweeps up to a node budget; None = geometric
     #: powers-of-two grid from 64.
     grid: Callable[[int], tuple[int, ...]] | None = None
+    #: Does the seed influence the *topology* of produced instances?
+    #: True (the conservative default) means every trial must run the
+    #: full builder.  Families that declare False — the graph depends
+    #: only on ``n`` — may additionally provide the two hooks below so
+    #: batched drivers can build the frozen core once per size and
+    #: re-dress it per seed.
+    topology_seeded: bool = True
+    #: ``n -> core``: the immutable, seed-independent part of an
+    #: instance (typically the frozen :class:`PortGraph`).
+    topology: Callable[[int], Any] | None = None
+    #: ``(core, n, seed) -> Instance``: attach the cheap per-seed state
+    #: (identifiers, inputs labeling, ``NodeRng``) to a shared core.
+    #: Must produce an instance equal to ``builder(n, seed)`` except
+    #: that the core objects are shared rather than rebuilt.
+    dress: Callable[[Any, int, int], Any] | None = None
+
+    @property
+    def reusable_topology(self) -> bool:
+        """Can batched drivers share one core across seeds of a size?"""
+        return (
+            not self.topology_seeded
+            and self.topology is not None
+            and self.dress is not None
+        )
 
     def sweep_sizes(self, max_n: int) -> tuple[int, ...]:
         """The family's size grid capped by a node budget (may be empty)."""
@@ -255,14 +280,30 @@ def register_family(
     size_kind: str = "nodes",
     test_sizes: tuple[int, ...] = (8, 17),
     grid: Callable[[int], tuple[int, ...]] | None = None,
+    topology_seeded: bool = True,
+    topology: Callable[[int], Any] | None = None,
+    dress: Callable[[Any, int, int], Any] | None = None,
 ):
     """Function decorator adding an instance-family entry.
 
     The decorated builder is called as ``builder(n, seed, **params)``
     and must return a :class:`~repro.local.algorithm.Instance`.
+    Families whose graph depends only on ``n`` declare
+    ``topology_seeded=False`` and may provide the ``topology``/``dress``
+    split so batched drivers can share the frozen core across seeds.
     """
     if size_kind not in ("nodes", "height"):
         raise ValueError(f"unknown size_kind {size_kind!r}")
+    if topology_seeded and (topology is not None or dress is not None):
+        raise ValueError(
+            f"family {name!r} declares topology/dress hooks but also "
+            "topology_seeded=True; seeded topologies cannot be shared"
+        )
+    if (topology is None) != (dress is None):
+        raise ValueError(
+            f"family {name!r} must provide both topology and dress hooks "
+            "(or neither)"
+        )
 
     def decorate(builder: Callable[..., Any]):
         _register(
@@ -277,6 +318,9 @@ def register_family(
                 size_kind=size_kind,
                 test_sizes=tuple(test_sizes),
                 grid=grid,
+                topology_seeded=topology_seeded,
+                topology=topology,
+                dress=dress,
             ),
         )
         return builder
@@ -333,6 +377,33 @@ def solver(name: str) -> SolverInfo:
 
 def family(name: str) -> FamilyInfo:
     return _lookup(_FAMILIES, name, "family")
+
+
+# Memoized display names: a solver's human-facing name is the object's
+# ``name`` attribute, which for class factories is readable without
+# instantiating anything.  Factories that hide it behind construction
+# (lambdas, functions) are materialized at most once per process.
+_DISPLAY_NAMES: dict[str, str] = {}
+
+
+def solver_display_name(name: str) -> str:
+    """The ``.name`` a registered solver's instances carry, lazily.
+
+    Matches ``getattr(factory(), "name", name)`` without materializing
+    a solver object when the factory is a class exposing ``name`` as a
+    class attribute, and memoizing the one materialization otherwise —
+    so warm-cache replays never pay solver construction just to label
+    their sweeps.
+    """
+    cached = _DISPLAY_NAMES.get(name)
+    if cached is not None:
+        return cached
+    info = solver(name)
+    display = getattr(info.factory, "name", None)
+    if not isinstance(display, str):
+        display = getattr(info.factory(), "name", name)
+    _DISPLAY_NAMES[name] = display
+    return display
 
 
 def solvers_for(problem_name: str) -> list[SolverInfo]:

@@ -1,0 +1,466 @@
+"""The batched trial pipeline's load-bearing property: equivalence.
+
+``Runtime.run_many`` and chunked ``run_experiment`` may amortize
+whatever setup they like — entrypoint resolution, frozen topology,
+verifier skeletons — but the records they produce must be bit-identical
+to the per-trial serial path at every worker count and batch size.
+The suite pins that, plus the cache-discipline corners: seeded-topology
+families must never share a graph across seeds, and a warm cache must
+replay the batched run exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sweep import Sweep, SweepPoint
+from repro.engine.cache import TrialCache
+from repro.engine.cli import main as engine_main
+from repro.engine.runner import (
+    auto_batch_size,
+    execute_trial,
+    execute_trial_batch,
+    run_experiment,
+)
+from repro.engine.spec import ExperimentSpec
+from repro.runtime import InstanceCache, Runtime, TrialBatch, registry
+from repro.runtime.entrypoints import (
+    family_ref,
+    parse_entrypoint,
+    solver_ref,
+    verifier_ref,
+)
+
+
+def record_key(record):
+    """Every TrialRecord field that must be bit-identical (not wall time)."""
+    return (
+        record.problem,
+        record.solver,
+        record.family,
+        record.n,
+        record.actual_n,
+        record.seed,
+        record.rounds,
+        tuple(record.node_radius),
+        record.verified,
+        tuple(sorted(record.extras.items())),
+    )
+
+
+def registry_spec(name, solver, problem, family, ns, seeds):
+    return ExperimentSpec(
+        name=name,
+        solver=solver_ref(solver),
+        generator=family_ref(family),
+        verifier=verifier_ref(problem),
+        ns=ns,
+        seeds=seeds,
+    )
+
+
+PARITY_SPEC = registry_spec(
+    "test/degree-parity/parity@cycle",
+    "parity",
+    "degree-parity",
+    "cycle",
+    ns=(8, 12, 16),
+    seeds=(0, 1, 2),
+)
+
+
+class TestRunManyEquivalence:
+    GRIDS = [
+        # (problem, solver, family, ns, seeds) — a reuse family per
+        # adapter path, a randomized solver, the shared-inputs gadget
+        # core, and a seeded-topology family where reuse must NOT kick in.
+        ("degree-parity", "parity", "cycle", (8, 12), (0, 1, 2)),
+        ("degree-parity", "parity-sync", "torus", (9, 16), (0, 1)),
+        ("degree-parity", "parity-views", "tree", (7, 15), (0, 1)),
+        ("sinkless-orientation", "sinkless-rand", "cubic", (16,), (0, 1, 2)),
+        ("gadget-proof", "gadget-prover", "gadget", (3, 4), (0, 1)),
+    ]
+
+    @pytest.mark.parametrize("problem,solver,family,ns,seeds", GRIDS)
+    def test_matches_per_trial_run(self, problem, solver, family, ns, seeds):
+        runtime = Runtime()
+        serial = [
+            runtime.run(problem, solver, family, n, seed)
+            for n in ns
+            for seed in seeds
+        ]
+        batched = runtime.run_many(problem, solver, family, ns, seeds)
+        assert [record_key(r) for r in serial] == [
+            record_key(r) for r in batched
+        ]
+        for a, b in zip(serial, batched):
+            assert a.outputs == b.outputs
+
+    def test_unsound_combination_rejected_like_run(self):
+        runtime = Runtime()
+        with pytest.raises(ValueError, match="not declared sound"):
+            runtime.run_many("sinkless-orientation", "sinkless-det", "cycle", (8,))
+
+    def test_verify_false_skips_verification(self):
+        records = Runtime().run_many(
+            "degree-parity", "parity", "cycle", (8,), (0,), verify=False
+        )
+        assert [r.verified for r in records] == [None]
+
+
+class TestInstanceCache:
+    def test_reuse_family_shares_one_graph_across_seeds(self):
+        cache = InstanceCache()
+        a, key_a = cache.build(registry.family("cycle"), 8, 0)
+        b, key_b = cache.build(registry.family("cycle"), 8, 1)
+        assert key_a == key_b == ("cycle", 8)
+        assert a.graph is b.graph
+        assert a.ids != b.ids  # the per-seed dressing still differs
+        assert (cache.built, cache.reused) == (1, 1)
+
+    def test_seeded_family_never_shares(self):
+        cache = InstanceCache()
+        a, key_a = cache.build(registry.family("cubic"), 16, 0)
+        b, key_b = cache.build(registry.family("cubic"), 16, 1)
+        assert key_a is None and key_b is None
+        assert a.graph is not b.graph
+        assert cache.bypassed == 2 and cache.built == 0 and cache.reused == 0
+
+    def test_params_bypass_reuse(self):
+        # Extra builder params parameterize the topology too, so a
+        # parameterized build must run the full builder every time.
+        cache = InstanceCache()
+        info = registry.family("cubic")
+        _, key = cache.build(info, 16, 0, params=None)
+        assert key is None
+        assert cache.bypassed == 1
+
+    def test_batch_counts_reuse_on_topology_family(self):
+        batch = TrialBatch("degree-parity", "parity", "cycle")
+        for seed in range(4):
+            batch.run_one(8, seed)
+        assert batch.instances.built == 1
+        assert batch.instances.reused == 3
+
+    def test_batch_prepared_verifiers_stay_bounded(self):
+        batch = TrialBatch("degree-parity", "parity", "cycle")
+        for n in range(4, 24):  # more sizes than the core capacity
+            batch.run_one(n, 0)
+        assert len(batch._prepared) <= batch.instances.capacity
+
+    def test_batch_never_reuses_on_seeded_family(self):
+        batch = TrialBatch("sinkless-orientation", "sinkless-det", "cubic")
+        for seed in range(3):
+            batch.run_one(16, seed)
+        assert batch.instances.built == 0
+        assert batch.instances.reused == 0
+        assert batch.instances.bypassed == 3
+
+    def test_registry_rejects_hooks_on_seeded_family(self):
+        from repro.runtime.registry import register_family
+
+        with pytest.raises(ValueError, match="topology_seeded=True"):
+            register_family(
+                "bad-family", topology_seeded=True, topology=lambda n: None,
+                dress=lambda core, n, seed: None,
+            )
+        with pytest.raises(ValueError, match="both topology and dress"):
+            register_family(
+                "bad-family", topology_seeded=False, topology=lambda n: None,
+            )
+
+
+class TestChunkedEngineEquivalence:
+    def test_records_identical_across_workers_and_batch_sizes(self):
+        oracle = [execute_trial(trial) for trial in PARITY_SPEC.trials()]
+        for workers, batch_size in [
+            (1, 1), (1, 2), (1, 64), (2, 1), (2, 3), (2, None), (4, 2),
+        ]:
+            report = run_experiment(
+                PARITY_SPEC, workers=workers, batch_size=batch_size
+            )
+            assert report.records == oracle, (workers, batch_size)
+            assert report.computed == len(oracle)
+
+    def test_seeded_topology_spec_identical(self):
+        spec = registry_spec(
+            "test/sinkless/sinkless-rand@cubic",
+            "sinkless-rand",
+            "sinkless-orientation",
+            "cubic",
+            ns=(16, 32),
+            seeds=(0, 1, 2),
+        )
+        oracle = [execute_trial(trial) for trial in spec.trials()]
+        report = run_experiment(spec, workers=2, batch_size=3)
+        assert report.records == oracle
+
+    def test_legacy_refs_take_the_bypass_path(self):
+        spec = ExperimentSpec(
+            name="test/legacy-refs",
+            solver="repro.problems:DeterministicSinklessSolver",
+            generator="repro.generators.hard:cubic_instance",
+            verifier="repro.engine.experiments:verify_sinkless",
+            ns=(16, 32),
+            seeds=(0, 1),
+        )
+        oracle = [execute_trial(trial) for trial in spec.trials()]
+        report = run_experiment(spec, workers=2, batch_size=2)
+        assert report.records == oracle
+
+    def test_chunks_never_span_two_sizes(self):
+        report = run_experiment(PARITY_SPEC, workers=1, batch_size=64)
+        # 3 sizes x 3 seeds with a huge cap: one chunk per size.
+        assert report.batches == 3
+        assert report.batch_size == 64
+
+    def test_batch_verifier_failure_still_raises(self):
+        spec = ExperimentSpec(
+            name="test/batched-bad-verify",
+            solver=solver_ref("parity"),
+            generator=family_ref("cycle"),
+            verifier="tests.test_batched_engine:_always_fail",
+            ns=(8,),
+            seeds=(0, 1),
+        )
+        with pytest.raises(AssertionError, match="nope"):
+            run_experiment(spec, workers=1, batch_size=2)
+
+    def test_mixed_ref_batches_rejected(self):
+        trials = PARITY_SPEC.trials()[:1] + registry_spec(
+            "test/other", "constant", "constant", "cycle", (8,), (0,)
+        ).trials()
+        with pytest.raises(ValueError, match="must share"):
+            execute_trial_batch(trials)
+
+    def test_invalid_batch_size_rejected(self):
+        with pytest.raises(ValueError, match="batch size"):
+            run_experiment(PARITY_SPEC, workers=1, batch_size=0)
+
+    def test_invalid_batch_size_rejected_even_on_warm_cache(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        run_experiment(PARITY_SPEC, workers=1, cache=TrialCache(cache_dir))
+        with pytest.raises(ValueError, match="batch size"):
+            run_experiment(
+                PARITY_SPEC, cache=TrialCache(cache_dir), batch_size=-1
+            )
+
+
+class TestCacheWarmReplay:
+    def test_cold_batched_then_warm(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        cold = run_experiment(
+            PARITY_SPEC, workers=2, cache=TrialCache(cache_dir), batch_size=2
+        )
+        assert cold.computed == cold.trials_total == 9
+        assert cold.batches == 6  # ceil(3/2) chunks per size, 3 sizes
+        warm = run_experiment(
+            PARITY_SPEC, workers=2, cache=TrialCache(cache_dir), batch_size=2
+        )
+        assert warm.cache_hits == warm.trials_total == 9
+        assert warm.computed == 0 and warm.batches == 0
+        assert warm.records == cold.records
+        assert warm.sweep == cold.sweep
+
+    def test_batched_records_replay_a_per_trial_cache(self, tmp_path):
+        # A cache written by batch_size=1 must satisfy a batched rerun
+        # (same keys, same records) and vice versa.
+        cache_dir = str(tmp_path / "cache")
+        run_experiment(
+            PARITY_SPEC, workers=1, cache=TrialCache(cache_dir), batch_size=1
+        )
+        warm = run_experiment(
+            PARITY_SPEC, workers=2, cache=TrialCache(cache_dir), batch_size=None
+        )
+        assert warm.cache_hits == warm.trials_total
+
+    def test_warm_replay_does_not_materialize_a_solver(self, tmp_path, monkeypatch):
+        spec = registry_spec(
+            "test/constant@cycle-lazy-name",
+            "constant",
+            "constant",
+            "cycle",
+            ns=(8,),
+            seeds=(0,),
+        )
+        cache_dir = str(tmp_path / "cache")
+        cold = run_experiment(spec, workers=1, cache=TrialCache(cache_dir))
+        from repro.problems.trivial import ConstantSolver
+
+        def boom(self, *args, **kwargs):
+            raise AssertionError("warm replay constructed a solver")
+
+        monkeypatch.setattr(ConstantSolver, "__init__", boom)
+        warm = run_experiment(spec, workers=1, cache=TrialCache(cache_dir))
+        assert warm.cache_hits == warm.trials_total
+        assert warm.sweep.solver_name == cold.sweep.solver_name == "constant"
+
+
+class TestStreaming:
+    def test_on_record_sees_every_record_in_order_when_serial(self):
+        seen = []
+        report = run_experiment(
+            PARITY_SPEC, workers=1, batch_size=2, on_record=seen.append
+        )
+        assert seen == report.records
+
+    def test_on_record_fires_for_cache_hits_and_computed(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        narrower = registry_spec(
+            "test/degree-parity/parity@cycle",
+            "parity",
+            "degree-parity",
+            "cycle",
+            ns=(8, 12),
+            seeds=(0, 1, 2),
+        )
+        run_experiment(narrower, workers=1, cache=TrialCache(cache_dir))
+        seen = []
+        report = run_experiment(
+            PARITY_SPEC,
+            workers=2,
+            cache=TrialCache(cache_dir),
+            on_record=seen.append,
+        )
+        assert len(seen) == report.trials_total == 9
+        assert report.cache_hits == 6
+        # Cached records stream first in grid order (the n=8 and n=12
+        # trials), then the computed n=16 chunk; together they cover
+        # exactly the report's record list.
+        assert seen[:6] == report.records[:6]
+        by_grid = sorted(seen, key=lambda r: (r["n"], r["seed"]))
+        assert by_grid == sorted(
+            report.records, key=lambda r: (r["n"], r["seed"])
+        )
+
+
+class TestAutoBatchSize:
+    def test_covers_a_seed_group(self):
+        assert auto_batch_size(num_missing=12, workers=8, seeds_per_n=6) == 6
+
+    def test_load_balances_large_runs(self):
+        # 1000 missing on 4 workers -> ceil(1000/16) = 63 per chunk.
+        assert auto_batch_size(1000, 4, 2) == 63
+
+    def test_caps_and_floors(self):
+        assert auto_batch_size(10_000, 1, 1) == 64
+        assert auto_batch_size(0, 4, 3) == 1
+        assert auto_batch_size(1, 1, 1) == 1
+
+
+class TestBestPerCellLandscape:
+    def _report(self, name, points):
+        spec = ExperimentSpec(
+            name=name, solver="m:s", generator="m:g", ns=(64,), seeds=(0,)
+        )
+        sweep = Sweep(solver_name=name, points=points)
+        return type("FakeReport", (), {"spec": spec, "sweep": sweep})()
+
+    @staticmethod
+    def _points(rounds):
+        return [
+            SweepPoint(
+                n=64 * 2**i,
+                trials=1,
+                rounds_mean=float(r),
+                rounds_max=r,
+                rounds_min=r,
+            )
+            for i, r in enumerate(rounds)
+        ]
+
+    def test_min_growth_wins_regardless_of_name_order(self):
+        from repro.analysis.landscape import rows_from_engine_reports
+
+        # "parity" sorts before "parity-sync", but its fake sweep grows
+        # linearly while parity-sync stays constant: the best-per-cell
+        # policy must pick the constant one for the det column.
+        growing = self._report(
+            "landscape/degree-parity/parity@cycle",
+            self._points([64, 128, 256, 512]),
+        )
+        flat = self._report(
+            "landscape/degree-parity/parity-sync@cycle",
+            self._points([3, 3, 3, 3]),
+        )
+        rows = rows_from_engine_reports([growing, flat])
+        assert len(rows) == 1
+        assert rows[0].det_sweep is flat.sweep
+        assert rows[0].measured_det() == "1"
+
+    def test_short_sweeps_lose_to_fitted_ones(self):
+        from repro.analysis.landscape import rows_from_engine_reports
+
+        short = self._report(
+            "landscape/degree-parity/parity@cycle", self._points([1, 1])
+        )
+        fitted = self._report(
+            "landscape/degree-parity/parity-sync@cycle",
+            self._points([5, 6, 7, 8]),
+        )
+        rows = rows_from_engine_reports([short, fitted])
+        assert rows[0].det_sweep is fitted.sweep
+
+
+class TestCli:
+    def test_batch_size_and_progress_flags(self, tmp_path, capsys):
+        code = engine_main(
+            [
+                "run",
+                "--experiment",
+                "sinkless",
+                "--workers",
+                "1",
+                "--max-n",
+                "64",
+                "--batch-size",
+                "2",
+                "--progress",
+                "--cache-dir",
+                str(tmp_path / "cache"),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "chunk(s)" in captured.out
+        assert "trials" in captured.err  # the progress line went to stderr
+
+    def test_rejects_nonpositive_batch_size(self, tmp_path, capsys):
+        code = engine_main(
+            [
+                "run",
+                "--experiment",
+                "sinkless",
+                "--max-n",
+                "64",
+                "--batch-size",
+                "0",
+                "--no-cache",
+            ]
+        )
+        assert code == 2
+        assert "--batch-size" in capsys.readouterr().err
+
+
+def _always_fail(instance, result):
+    raise AssertionError("nope")
+
+
+class TestEntrypointParsing:
+    def test_roundtrip(self):
+        assert parse_entrypoint(solver_ref("parity")) == ("solver", "parity")
+        assert parse_entrypoint(family_ref("cycle")) == ("family", "cycle")
+        assert parse_entrypoint(verifier_ref("constant")) == (
+            "verifier",
+            "constant",
+        )
+
+    def test_foreign_refs_are_none(self):
+        assert parse_entrypoint("repro.generators.hard:cubic_instance") is None
+        assert parse_entrypoint("repro.runtime.entrypoints:nonsense") is None
+
+    def test_display_names(self):
+        assert registry.solver_display_name("constant") == "constant"
+        # Lambda factory: materialized once, then memoized.
+        assert registry.solver_display_name("parity") == "constant"
+        assert registry.solver_display_name("gadget-prover") == "gadget-prover-V"
