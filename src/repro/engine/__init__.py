@@ -6,8 +6,14 @@ verifier and the (n, seed) grid as importable references; the runner
 expands it into content-hashed trials, replays whatever the on-disk
 cache already holds, dispatches the delta to a process pool, and folds
 the records into the same ``Sweep``/``SweepPoint`` shapes the analysis
-layer has always used.  ``python -m repro.engine`` exposes the named
-experiments of :mod:`repro.engine.experiments` from the shell.
+layer has always used.  The same pipeline scales out: a
+:class:`ShardPlan` deals a spec's dispatch chunks onto K serializable
+:class:`ShardManifest` shards that run anywhere
+(:func:`run_shard`) and merge back bit-identically
+(:func:`merge_shard_reports` + cache union).  ``python -m
+repro.engine`` exposes the named experiments of
+:mod:`repro.engine.experiments` and the
+``plan``/``run-shard``/``merge`` flow from the shell.
 """
 
 from repro.engine.cache import DEFAULT_CACHE_DIR, CacheStats, TrialCache
@@ -15,12 +21,18 @@ from repro.engine.experiments import EXPERIMENTS, build_experiment
 from repro.engine.pool import default_workers, run_task_batches, run_tasks
 from repro.engine.runner import (
     EngineReport,
+    ShardReport,
     auto_batch_size,
     execute_trial,
     execute_trial_batch,
+    iter_records,
+    merge_shard_reports,
+    plan_experiment,
     run_callable_sweep,
     run_experiment,
+    run_shard,
 )
+from repro.engine.shard import ShardManifest, ShardPlan
 from repro.engine.spec import (
     CACHE_VERSION,
     ExperimentSpec,
@@ -37,6 +49,9 @@ __all__ = [
     "EXPERIMENTS",
     "EngineReport",
     "ExperimentSpec",
+    "ShardManifest",
+    "ShardPlan",
+    "ShardReport",
     "TrialCache",
     "TrialSpec",
     "auto_batch_size",
@@ -45,9 +60,13 @@ __all__ = [
     "execute_trial",
     "execute_trial_batch",
     "grid",
+    "iter_records",
+    "merge_shard_reports",
+    "plan_experiment",
     "resolve_ref",
     "run_callable_sweep",
     "run_experiment",
+    "run_shard",
     "run_task_batches",
     "run_tasks",
     "seed_grid",

@@ -1,11 +1,21 @@
-"""Content-addressed on-disk trial store.
+"""Content-addressed on-disk trial store, mergeable across hosts.
 
-Records live in JSON-lines shards under a cache root (default
+Records live in JSON-lines shard files under a cache root (default
 ``.repro-cache/``), sharded by the first byte of the trial key so no
 single file grows unboundedly and concurrent sweeps touch disjoint
-shards most of the time.  Appends are atomic at the line level; on
+files most of the time.  Appends are atomic at the line level; on
 replay the *last* record for a key wins, so an interrupted run can
-simply be re-run.
+simply be re-run, and :meth:`TrialCache.compact` rewrites the files
+down to that last record per key when append growth matters.
+
+The store is built for distributed merge: because every record is
+keyed by its trial's content hash, two caches can only ever disagree
+on *presence*, never on *value* — so ``merge`` is a plain key union
+(idempotent, commutative), ``export``/``import_file`` move records as
+one portable JSONL file, and the ``isolation`` mode points writes at a
+private root (one per shard of a sharded run) that unions cleanly back
+into the shared root afterward.  All readers tolerate a torn trailing
+line, the worst a killed writer can leave behind.
 
 The cache is deliberately dumb: it stores whatever JSON-safe record
 the runner hands it, keyed by the trial's content hash.  Invalidation
@@ -18,7 +28,7 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass, field
-from typing import Any, Iterable
+from typing import Any, Iterable, Iterator
 
 __all__ = ["CacheStats", "TrialCache", "DEFAULT_CACHE_DIR"]
 
@@ -35,50 +45,121 @@ class CacheStats:
         return {"hits": self.hits, "misses": self.misses, "puts": self.puts}
 
 
+def _parse_lines(path: str) -> Iterator[tuple[str, dict[str, Any]]]:
+    """Yield ``(key, record)`` pairs from one shard/export file.
+
+    A missing file reads as empty; undecodable lines (the torn tail a
+    killed writer leaves) are skipped rather than poisoning the run.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn write at the tail of the file
+                key = entry.get("key")
+                if key and "record" in entry:
+                    yield key, entry["record"]
+    except OSError:
+        return  # missing file == empty file
+
+
+def _scan_root(root: str) -> dict[str, dict[str, Any]]:
+    """Last-record-per-key view of every ``*.jsonl`` directly in a root."""
+    entries: dict[str, dict[str, Any]] = {}
+    try:
+        names = sorted(os.listdir(root))
+    except OSError:
+        return entries
+    for name in names:
+        if not name.endswith(".jsonl"):
+            continue
+        for key, record in _parse_lines(os.path.join(root, name)):
+            entries[key] = record
+    return entries
+
+
+def _dump_line(key: str, record: dict[str, Any]) -> str:
+    return json.dumps({"key": key, "record": record}, sort_keys=True)
+
+
 @dataclass
 class TrialCache:
-    """A sharded key -> JSON-record store with an in-memory index."""
+    """A sharded key -> JSON-record store with an in-memory index.
+
+    ``isolation``, when set, is a private directory all *writes* go to
+    while reads consult both it and ``root`` (the private copy wins).
+    A sharded run gives each shard ``TrialCache(shared_root,
+    isolation=private_root)``: shards reuse whatever the shared root
+    already holds but never contend on its files, and afterward
+    ``TrialCache(shared_root).merge(private_root)`` folds each private
+    root back in.
+    """
 
     root: str = DEFAULT_CACHE_DIR
+    isolation: str | None = None
     stats: CacheStats = field(default_factory=CacheStats)
 
     def __post_init__(self) -> None:
         self._index: dict[str, dict[str, Any]] = {}
-        self._loaded_shards: set[str] = set()
+        self._loaded: set[str] = set()
         # Fail fast on an unusable cache root, before any trial work
         # whose results would otherwise be computed and then lost.
         os.makedirs(self.root, exist_ok=True)
+        if self.isolation:
+            os.makedirs(self.isolation, exist_ok=True)
 
     # -- sharding ------------------------------------------------------
 
-    def _shard_path(self, key: str) -> str:
-        return os.path.join(self.root, f"{key[:2]}.jsonl")
+    def _shard_name(self, key: str) -> str:
+        return f"{key[:2]}.jsonl"
 
-    def _load_shard(self, shard: str) -> None:
-        if shard in self._loaded_shards:
+    def _read_roots(self) -> list[str]:
+        # Isolation last: its records overwrite the shared root's on
+        # load, matching "the private copy wins".
+        return [self.root] + ([self.isolation] if self.isolation else [])
+
+    def _load_shard(self, name: str) -> None:
+        if name in self._loaded:
             return
-        self._loaded_shards.add(shard)
-        try:
-            with open(shard, "r", encoding="utf-8") as handle:
-                for line in handle:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    try:
-                        entry = json.loads(line)
-                    except json.JSONDecodeError:
-                        continue  # torn write at the tail of the shard
-                    key = entry.get("key")
-                    if key:
-                        self._index[key] = entry["record"]
-        except OSError:
-            pass  # missing shard == empty shard
+        self._loaded.add(name)
+        for root in self._read_roots():
+            for key, record in _parse_lines(os.path.join(root, name)):
+                self._index[key] = record
+
+    def _peek(self, key: str) -> dict[str, Any] | None:
+        """Lookup without touching hit/miss accounting."""
+        self._load_shard(self._shard_name(key))
+        return self._index.get(key)
+
+    def _shard_names_on_disk(self) -> list[str]:
+        names: set[str] = set()
+        for root in self._read_roots():
+            try:
+                names.update(
+                    name for name in os.listdir(root) if name.endswith(".jsonl")
+                )
+            except OSError:
+                continue
+        return sorted(names)
+
+    def load_all(self) -> None:
+        """Pull every on-disk record into the in-memory index."""
+        for name in self._shard_names_on_disk():
+            self._load_shard(name)
 
     # -- lookup / store ------------------------------------------------
 
+    def contains(self, key: str) -> bool:
+        """Presence probe that does not touch hit/miss accounting."""
+        return self._peek(key) is not None
+
     def get(self, key: str) -> dict[str, Any] | None:
-        self._load_shard(self._shard_path(key))
-        record = self._index.get(key)
+        record = self._peek(key)
         if record is None:
             self.stats.misses += 1
         else:
@@ -99,19 +180,140 @@ class TrialCache:
     def put_many(self, items: Iterable[tuple[str, dict[str, Any]]]) -> None:
         by_shard: dict[str, list[str]] = {}
         for key, record in items:
+            name = self._shard_name(key)
+            # Load the shard's existing records before the write marks
+            # it loaded, so later gets of sibling keys still see disk.
+            self._load_shard(name)
             self._index[key] = record
-            line = json.dumps(
-                {"key": key, "record": record}, sort_keys=True
-            )
-            by_shard.setdefault(self._shard_path(key), []).append(line)
+            by_shard.setdefault(name, []).append(_dump_line(key, record))
             self.stats.puts += 1
         if not by_shard:
             return
-        os.makedirs(self.root, exist_ok=True)
-        for shard, lines in by_shard.items():
-            self._loaded_shards.add(shard)
-            with open(shard, "a", encoding="utf-8") as handle:
+        write_root = self.isolation or self.root
+        os.makedirs(write_root, exist_ok=True)
+        for name, lines in by_shard.items():
+            path = os.path.join(write_root, name)
+            with open(path, "a", encoding="utf-8") as handle:
                 handle.write("\n".join(lines) + "\n")
 
     def __len__(self) -> int:
         return len(self._index)
+
+    # -- transport: export / import / merge ----------------------------
+
+    def export(self, path: str, keys: Iterable[str] | None = None) -> int:
+        """Write records as one portable JSONL file; returns the count.
+
+        ``keys=None`` exports everything on disk; an explicit iterable
+        exports exactly those keys (unknown ones are skipped).  Lines
+        are key-sorted, so equal caches export byte-identical files.
+        """
+        if keys is None:
+            self.load_all()
+            entries = sorted(self._index.items())
+        else:
+            picked: dict[str, dict[str, Any]] = {}
+            for key in keys:
+                record = self._peek(key)
+                if record is not None:
+                    picked[key] = record  # dedups repeated keys, too
+            entries = sorted(picked.items())
+        with open(path, "w", encoding="utf-8") as handle:
+            for key, record in entries:
+                handle.write(_dump_line(key, record) + "\n")
+        return len(entries)
+
+    def _absorb(self, incoming: dict[str, dict[str, Any]]) -> int:
+        """Key-union incoming records; newcomers win only when they differ.
+
+        Records are content-addressed, so a key collision with a
+        *different* record should be impossible — but if it happens
+        (hand-edited files), last writer wins, matching replay
+        semantics.  Identical records are not re-appended, which is
+        what keeps merge idempotent on disk as well as in the index.
+        """
+        fresh = [
+            (key, record)
+            for key, record in sorted(incoming.items())
+            if self._peek(key) != record
+        ]
+        self.put_many(fresh)
+        return len(fresh)
+
+    def import_file(self, path: str) -> int:
+        """Import a JSONL export; returns how many records were new.
+
+        Tolerates a torn trailing line; within the file the last record
+        per key wins, mirroring shard replay.
+        """
+        if not os.path.isfile(path):
+            raise ValueError(f"cache export {path!r} does not exist")
+        incoming: dict[str, dict[str, Any]] = {}
+        for key, record in _parse_lines(path):
+            incoming[key] = record
+        return self._absorb(incoming)
+
+    def merge(self, other_root: str) -> int:
+        """Union another cache root's records into this cache.
+
+        ``merge`` is idempotent (re-merging adds nothing) and
+        commutative up to file layout (any merge order yields the same
+        key -> record mapping) because keys are content hashes: two
+        caches can only disagree on presence.  Returns how many records
+        were new.
+        """
+        if not os.path.isdir(other_root):
+            raise ValueError(f"cache root {other_root!r} does not exist")
+        return self._absorb(_scan_root(other_root))
+
+    # -- maintenance ---------------------------------------------------
+
+    def compact(self) -> tuple[int, int]:
+        """Rewrite shard files keeping only the last record per key.
+
+        Returns ``(kept, dropped)`` line counts.  Appends accumulate a
+        line per put — re-runs after merges or interruptions write keys
+        that already exist — and compaction is the one operation that
+        reclaims that space.  Each file is rewritten atomically
+        (temp file + ``os.replace``) and only when it actually shrinks;
+        the read view is unchanged, since replay already kept only the
+        last record per key.
+
+        **Single-writer only**: unlike every other operation here,
+        compaction is read-modify-replace, so records appended by a
+        concurrent writer between the read pass and the replace would
+        be clobbered.  Run it between sweeps (the CI smoke compacts
+        after ``merge``), or point concurrent shards at isolation
+        roots so the shared root has no other writer.
+        """
+        kept = 0
+        dropped = 0
+        roots = [self.root] + (
+            [self.isolation]
+            if self.isolation and self.isolation != self.root
+            else []
+        )
+        for root in roots:
+            try:
+                names = sorted(os.listdir(root))
+            except OSError:
+                continue
+            for name in names:
+                if not name.endswith(".jsonl"):
+                    continue
+                path = os.path.join(root, name)
+                entries: dict[str, dict[str, Any]] = {}
+                lines = 0
+                for key, record in _parse_lines(path):
+                    entries[key] = record
+                    lines += 1
+                kept += len(entries)
+                dropped += lines - len(entries)
+                if lines == len(entries):
+                    continue  # already compact: skip the rewrite
+                tmp = path + ".compact"
+                with open(tmp, "w", encoding="utf-8") as handle:
+                    for key, record in sorted(entries.items()):
+                        handle.write(_dump_line(key, record) + "\n")
+                os.replace(tmp, path)
+        return kept, dropped

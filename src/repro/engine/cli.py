@@ -1,11 +1,15 @@
-"""``python -m repro.engine`` — run, list, and describe experiments.
+"""``python -m repro.engine`` — run, shard, merge, and inspect experiments.
 
 Subcommands::
 
     python -m repro.engine run --experiment sinkless --workers 4
+    python -m repro.engine plan --experiment landscape --shards 4 --out plan.json
+    python -m repro.engine run-shard --plan plan.json --shard 0/4 --cache-out shard0
+    python -m repro.engine merge --plan plan.json --from shard0 shard1 shard2 shard3
+    python -m repro.engine status --plan plan.json
+    python -m repro.engine cache --compact
     python -m repro.engine list
     python -m repro.engine describe mis-luby
-    python -m repro.engine describe landscape
 
 The bare legacy form (``python -m repro.engine --experiment ...``) is
 still accepted and means ``run``.  ``run`` prints one table per spec
@@ -13,19 +17,34 @@ still accepted and means ``run``.  ``run`` prints one table per spec
 ``benchmarks/conftest.report``) plus cache/parallelism accounting, and
 optionally writes the full JSON report; ``list``/``describe`` read the
 runtime registry's catalogs.
+
+The shard flow needs no scheduler integration: ``plan`` writes one
+JSON file fixing the chunk/shard partition for every spec of an
+experiment, ``run-shard`` executes one shard of it anywhere (a private
+``--cache-out`` root keeps concurrent shards from contending), and
+``merge`` unions the shard caches and rebuilds the exact report — and
+Figure 1 table — a single-host run would have produced.  Any shell
+loop, make, or batch scheduler can drive it.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Sequence
 
 from repro.engine.cache import DEFAULT_CACHE_DIR, TrialCache
 from repro.engine.experiments import EXPERIMENTS, build_experiment, paper_placement
 from repro.engine.pool import default_workers
-from repro.engine.runner import EngineReport, run_experiment
+from repro.engine.runner import (
+    EngineReport,
+    plan_experiment,
+    run_experiment,
+    run_shard,
+)
+from repro.engine.shard import ShardPlan, dump_plan_file, load_plan_file
 from repro.runtime import registry
 
 __all__ = ["main", "format_report", "format_catalog"]
@@ -111,6 +130,7 @@ def format_catalog() -> str:
         lines.append(f"  {name:24s} {EXPERIMENTS[name].description}")
     lines.append(
         f"\n{len(registry.sound_triples())} sound (problem, solver, family) "
+        f"triples, {len(registry.unsound_triples())} declared-unsound probe "
         "triples; `describe <name>` for details"
     )
     return "\n".join(lines)
@@ -145,6 +165,11 @@ def format_description(name: str) -> str:
             f"solves {info.problem}",
             f"  sound on families: {', '.join(info.families)}",
         ]
+        if info.unsound_families:
+            rows.append(
+                "  declared unsound (verifier must reject) on: "
+                + ", ".join(info.unsound_families)
+            )
         if info.ref:
             rows.append(f"  factory: {info.ref}")
         blocks.append("\n".join(rows))
@@ -253,11 +278,180 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
 def _parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.engine",
-        description="parallel, cached experiment runs for the reproduction",
+        description="parallel, cached, shardable experiment runs",
     )
     subparsers = parser.add_subparsers(dest="command")
     run = subparsers.add_parser("run", help="run a named experiment")
     _add_run_arguments(run)
+
+    plan = subparsers.add_parser(
+        "plan", help="write a deterministic sharded execution plan"
+    )
+    plan.add_argument(
+        "--experiment",
+        required=True,
+        choices=sorted(EXPERIMENTS),
+        help="named experiment to plan",
+    )
+    plan.add_argument(
+        "--shards",
+        type=int,
+        required=True,
+        metavar="K",
+        help="number of shards to deal the dispatch chunks onto",
+    )
+    plan.add_argument(
+        "--max-n",
+        type=int,
+        default=None,
+        help="upper bound of the size grid (experiment default otherwise)",
+    )
+    plan.add_argument(
+        "--seeds",
+        type=int,
+        default=None,
+        metavar="COUNT",
+        help="number of seeds per point (experiment default otherwise)",
+    )
+    plan.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        metavar="COUNT",
+        help="trials per dispatch chunk (default: auto, host-independent)",
+    )
+    plan.add_argument(
+        "--out",
+        default="-",
+        metavar="PATH",
+        help="where to write the plan JSON ('-' for stdout, the default)",
+    )
+
+    run_shard_p = subparsers.add_parser(
+        "run-shard", help="execute one shard of a plan"
+    )
+    run_shard_p.add_argument(
+        "--plan", required=True, metavar="PATH", help="plan file from `plan`"
+    )
+    run_shard_p.add_argument(
+        "--shard",
+        required=True,
+        metavar="I[/K]",
+        help="0-based shard to run, e.g. '1' or '1/4' (the /K must match the plan)",
+    )
+    run_shard_p.add_argument(
+        "--workers",
+        type=int,
+        default=default_workers(),
+        help="worker processes (1 = serial; default: CPU count capped at 8)",
+    )
+    run_shard_p.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help=f"shared cache root to read (default: {DEFAULT_CACHE_DIR})",
+    )
+    run_shard_p.add_argument(
+        "--cache-out",
+        default=None,
+        metavar="DIR",
+        help=(
+            "private root this shard writes to (reads still see --cache-dir); "
+            "merge the roots afterward.  Default: write into --cache-dir"
+        ),
+    )
+    run_shard_p.add_argument(
+        "--progress",
+        action="store_true",
+        help="render per-trial progress on stderr as chunks complete",
+    )
+    run_shard_p.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the shard reports (with records) as JSON to PATH",
+    )
+
+    merge = subparsers.add_parser(
+        "merge",
+        help=(
+            "union shard cache roots and rebuild the single-host report "
+            "(any remainder is computed locally)"
+        ),
+    )
+    merge.add_argument(
+        "--plan", required=True, metavar="PATH", help="plan file from `plan`"
+    )
+    merge.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help=f"destination cache root (default: {DEFAULT_CACHE_DIR})",
+    )
+    merge.add_argument(
+        "--from",
+        dest="sources",
+        nargs="*",
+        default=[],
+        metavar="ROOT",
+        help="shard cache roots to union into --cache-dir before replaying",
+    )
+    merge.add_argument(
+        "--compact",
+        action="store_true",
+        help="compact the destination cache after merging",
+    )
+    merge.add_argument(
+        "--workers",
+        type=int,
+        default=default_workers(),
+        help="workers for any remainder trials the shards did not cover",
+    )
+    merge.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the merged report as JSON to PATH ('-' for stdout)",
+    )
+
+    status = subparsers.add_parser(
+        "status", help="per-shard completion of a plan against a cache"
+    )
+    status.add_argument(
+        "--plan", required=True, metavar="PATH", help="plan file from `plan`"
+    )
+    status.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help=f"cache root to check (default: {DEFAULT_CACHE_DIR})",
+    )
+    status.add_argument(
+        "--from",
+        dest="sources",
+        nargs="*",
+        default=[],
+        metavar="ROOT",
+        help=(
+            "additional (not-yet-merged) shard cache roots to count as "
+            "present, e.g. the --cache-out roots of running shards"
+        ),
+    )
+
+    cache = subparsers.add_parser(
+        "cache", help="inspect or compact a trial cache root"
+    )
+    cache.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help=f"cache root (default: {DEFAULT_CACHE_DIR})",
+    )
+    cache.add_argument(
+        "--compact",
+        action="store_true",
+        help=(
+            "rewrite shard files keeping only the last record per key "
+            "(run only while no writer is using the root)"
+        ),
+    )
+
     subparsers.add_parser(
         "list", help="list registered problems, solvers, families, experiments"
     )
@@ -284,6 +478,17 @@ def _progress_callback(spec_name: str, total: int):
     return on_record
 
 
+def _render_partial_landscape(reports: Sequence[EngineReport]) -> str | None:
+    """The Figure 1 table as assembled so far, or None when still empty."""
+    from repro.analysis import render_landscape
+    from repro.analysis.landscape import rows_from_engine_reports
+
+    rows = rows_from_engine_reports(reports)
+    if not rows:
+        return None
+    return render_landscape(rows)
+
+
 def _run(args: argparse.Namespace) -> int:
     try:
         specs = build_experiment(args.experiment, args.max_n, args.seeds)
@@ -296,6 +501,7 @@ def _run(args: argparse.Namespace) -> int:
         print(f"error: {err}", file=sys.stderr)
         return 2
     reports = []
+    last_partial: str | None = None
     for spec in specs:
         on_record = None
         if args.progress:
@@ -313,14 +519,23 @@ def _run(args: argparse.Namespace) -> int:
         )
         if args.progress:
             print(file=sys.stderr)
+            # Progressive Figure 1 at large --max-n: re-render the
+            # partial landscape whenever a completed spec changed it,
+            # so long runs show the table filling in instead of
+            # staying silent until the end.
+            if args.experiment == "landscape" and len(reports) < len(specs):
+                partial = _render_partial_landscape(reports)
+                if partial is not None and partial != last_partial:
+                    last_partial = partial
+                    print(
+                        f"[{len(reports)}/{len(specs)} specs]\n{partial}",
+                        file=sys.stderr,
+                    )
     print(format_report(reports))
     if args.experiment == "landscape":
-        from repro.analysis import render_landscape
-        from repro.analysis.landscape import rows_from_engine_reports
-
-        rows = rows_from_engine_reports(reports)
-        if rows:
-            print("\n" + render_landscape(rows))
+        table = _render_partial_landscape(reports)
+        if table is not None:
+            print("\n" + table)
     total = sum(rep.trials_total for rep in reports)
     hits = sum(rep.cache_hits for rep in reports)
     batches = sum(rep.batches for rep in reports)
@@ -347,6 +562,250 @@ def _run(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- sharded execution -------------------------------------------------
+
+
+def _load_plans(path: str) -> tuple[str, list[ShardPlan]]:
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return load_plan_file(payload)
+
+
+def _parse_shard(value: str, num_shards: int) -> int:
+    """Parse ``--shard`` values: a 0-based index, optionally ``i/K``."""
+    text = value
+    if "/" in text:
+        text, _, declared = text.partition("/")
+        if int(declared) != num_shards:
+            raise ValueError(
+                f"--shard says /{declared} but the plan has "
+                f"{num_shards} shard(s)"
+            )
+    index = int(text)
+    if not 0 <= index < num_shards:
+        raise ValueError(
+            f"shard index {index} out of range for a {num_shards}-shard plan "
+            "(indices are 0-based)"
+        )
+    return index
+
+
+def _plan(args: argparse.Namespace) -> int:
+    try:
+        specs = build_experiment(args.experiment, args.max_n, args.seeds)
+        plans = [
+            plan_experiment(
+                spec, num_shards=args.shards, batch_size=args.batch_size
+            )
+            for spec in specs
+        ]
+        payload = dump_plan_file(args.experiment, plans)
+    except (ValueError, OSError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    text = json.dumps(payload, indent=2)
+    if args.out == "-":
+        print(text)
+    else:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(
+            f"wrote {args.out}: {args.experiment}, {len(plans)} spec(s) x "
+            f"{args.shards} shard(s), {payload['trials_total']} trials"
+        )
+    return 0
+
+
+def _run_shard(args: argparse.Namespace) -> int:
+    try:
+        _experiment, plans = _load_plans(args.plan)
+        index = _parse_shard(args.shard, plans[0].num_shards)
+        cache = TrialCache(args.cache_dir, isolation=args.cache_out)
+    except (ValueError, OSError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    reports = []
+    for plan in plans:
+        manifest = plan.manifest(index)
+        on_record = None
+        if args.progress:
+            on_record = _progress_callback(
+                f"{manifest.spec.name} [shard {index}]",
+                len(manifest.trial_indices()),
+            )
+        reports.append(
+            run_shard(
+                manifest, workers=args.workers, cache=cache, on_record=on_record
+            )
+        )
+        if args.progress:
+            print(file=sys.stderr)
+        print(reports[-1].summary())
+    total = sum(rep.trials_total for rep in reports)
+    hits = sum(rep.cache_hits for rep in reports)
+    computed = sum(rep.computed for rep in reports)
+    elapsed = sum(rep.elapsed for rep in reports)
+    wrote = args.cache_out or args.cache_dir
+    print(
+        f"\nshard {index}/{plans[0].num_shards}: {total} trials "
+        f"({hits} cached, {computed} computed) in {elapsed:.2f}s; "
+        f"records in {wrote}"
+    )
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(
+                {
+                    "plan": args.plan,
+                    "shard_index": index,
+                    "reports": [rep.as_dict() for rep in reports],
+                },
+                handle,
+                indent=2,
+            )
+            handle.write("\n")
+    return 0
+
+
+def _merge(args: argparse.Namespace) -> int:
+    try:
+        experiment, plans = _load_plans(args.plan)
+        if not args.sources and not os.path.isdir(args.cache_dir):
+            # With --from roots, creating a fresh destination is the
+            # point; without them, a typo'd --cache-dir would silently
+            # recompute the whole experiment instead of replaying it.
+            raise ValueError(
+                f"cache root {args.cache_dir!r} does not exist and no "
+                "--from roots were given; nothing to merge"
+            )
+        cache = TrialCache(args.cache_dir)
+        added = 0
+        for root in args.sources:
+            added += cache.merge(root)
+    except (ValueError, OSError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    print(
+        f"merged {len(args.sources)} shard root(s) into {args.cache_dir}: "
+        f"{added} new record(s)"
+    )
+    if args.compact:
+        kept, dropped = cache.compact()
+        print(f"compacted: kept {kept} record(s), dropped {dropped} stale line(s)")
+    # Replay the plan from the merged cache — the single-shard pipeline
+    # again, so a complete merge is pure cache hits and an incomplete
+    # one computes exactly the remainder.
+    reports = [
+        run_experiment(
+            plan.spec,
+            workers=args.workers,
+            cache=cache,
+            batch_size=plan.batch_size,
+        )
+        for plan in plans
+    ]
+    print("\n" + format_report(reports))
+    if experiment == "landscape":
+        table = _render_partial_landscape(reports)
+        if table is not None:
+            print("\n" + table)
+    total = sum(rep.trials_total for rep in reports)
+    hits = sum(rep.cache_hits for rep in reports)
+    print(
+        f"\ntotal: {total} trials, {hits} from the merged cache, "
+        f"{total - hits} computed during merge"
+    )
+    if args.json:
+        payload = json.dumps(
+            {
+                "experiment": experiment,
+                "merged_roots": list(args.sources),
+                "records_added": added,
+                "reports": [rep.as_dict() for rep in reports],
+            },
+            indent=2,
+        )
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+    return 0
+
+
+def _status(args: argparse.Namespace) -> int:
+    from repro.analysis import render_table
+
+    try:
+        experiment, plans = _load_plans(args.plan)
+        # A read-only probe must not conjure an empty cache out of a
+        # typo'd path and report a finished plan as all-remaining.
+        for root in [args.cache_dir, *args.sources]:
+            if not os.path.isdir(root):
+                raise ValueError(f"cache root {root!r} does not exist")
+        # Probe the shared root plus any not-yet-merged shard roots, so
+        # a scheduler can watch shards that write to private
+        # --cache-out dirs without forcing an early merge.
+        probes = [TrialCache(args.cache_dir)] + [
+            TrialCache(root) for root in args.sources
+        ]
+    except (ValueError, OSError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    num_shards = plans[0].num_shards
+    done_by_shard = [0] * num_shards
+    total_by_shard = [0] * num_shards
+    for plan in plans:
+        trials = plan.spec.trials()
+        for shard_index in range(num_shards):
+            for i in plan.manifest(shard_index).trial_indices():
+                total_by_shard[shard_index] += 1
+                key = trials[i].key()
+                if any(probe.contains(key) for probe in probes):
+                    done_by_shard[shard_index] += 1
+    rows = []
+    for shard_index in range(num_shards):
+        done = done_by_shard[shard_index]
+        total = total_by_shard[shard_index]
+        state = "complete" if done == total else f"{total - done} remaining"
+        rows.append([f"{shard_index}/{num_shards}", total, done, state])
+    print(
+        render_table(
+            ["shard", "trials", "cached", "status"],
+            rows,
+            title=(
+                f"{experiment}: {len(plans)} spec(s) x {num_shards} shard(s) "
+                f"against {args.cache_dir}"
+            ),
+        )
+    )
+    remaining = sum(total_by_shard) - sum(done_by_shard)
+    if remaining:
+        print(f"\n{remaining} trial(s) remaining before `merge` is all-hits")
+    else:
+        print("\nplan complete — `merge` will replay without computing")
+    return 0
+
+
+def _cache(args: argparse.Namespace) -> int:
+    try:
+        if not os.path.isdir(args.cache_dir):
+            raise ValueError(f"cache root {args.cache_dir!r} does not exist")
+        cache = TrialCache(args.cache_dir)
+        if args.compact:
+            kept, dropped = cache.compact()
+            print(
+                f"compacted {args.cache_dir}: kept {kept} record(s), "
+                f"dropped {dropped} stale line(s)"
+            )
+        else:
+            cache.load_all()
+            print(f"{args.cache_dir}: {len(cache)} record(s) on disk")
+    except (ValueError, OSError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -358,6 +817,16 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = _parser().parse_args(argv)
     if args.command == "run":
         return _run(args)
+    if args.command == "plan":
+        return _plan(args)
+    if args.command == "run-shard":
+        return _run_shard(args)
+    if args.command == "merge":
+        return _merge(args)
+    if args.command == "status":
+        return _status(args)
+    if args.command == "cache":
+        return _cache(args)
     if args.command == "list":
         print(format_catalog())
         return 0

@@ -1,26 +1,32 @@
-"""Spec -> pool -> cache orchestration, batched.
+"""Plan -> shard -> chunk execution, from one spec to many hosts.
 
-``run_experiment`` turns an :class:`~repro.engine.spec.ExperimentSpec`
-into aggregated :class:`~repro.analysis.sweep.SweepPoint` rows:
+The pipeline has three stages, each its own function, and
+``run_experiment`` is nothing but their single-shard composition:
 
-1. expand the spec into its trial grid (n-major, seed-minor order);
-2. look every trial key up in the cache;
-3. group the missing trials into per-``(spec, n)`` chunks and ship each
-   chunk to the worker pool as ONE task — one pickle/IPC round-trip per
-   chunk, not per trial;
-4. store the freshly computed records;
-5. aggregate all records, in grid order, into a ``Sweep``.
+1. :func:`plan_experiment` expands the spec into its trial grid
+   (n-major, seed-minor order), chunks the FULL grid into per-``(spec,
+   n)`` dispatch chunks, and deals the chunks onto K shards — a pure
+   function of ``(spec, num_shards, batch_size)``, so any host re-plans
+   to byte-identical shards;
+2. :func:`run_shard` executes one :class:`~repro.engine.shard.ShardManifest`:
+   look the shard's trial keys up in the cache, ship each chunk's
+   missing trials to the worker pool as ONE task (one pickle/IPC
+   round-trip per chunk, not per trial), store the fresh records;
+3. :func:`merge_shard_reports` reduces the K shard reports back into
+   one :class:`EngineReport` — grid-ordered records, aggregated
+   ``Sweep`` — bit-identical to what a single-host run produces, in
+   whatever order the shards ran and on whatever mix of processes.
 
-The chunk — not the trial — is the unit of scheduling.  Inside a
+The chunk — not the trial — stays the unit of scheduling.  Inside a
 worker, :func:`execute_trial_batch` amortizes everything a chunk's
 trials share: entrypoint references resolve once per worker process
 (the memo survives across chunks of the same spec), families with
 seed-independent topology rebuild only identifiers/inputs/rng on a
 shared frozen graph, and the verifier's configuration skeleton is
 prepared once per shared core.  Records stay bit-identical to the
-serial per-trial path (:func:`execute_trial`) at every worker count and
-batch size, so aggregation — a pure function of the ordered record
-list — cannot tell the difference.
+serial per-trial path (:func:`execute_trial`) at every worker count,
+batch size, and shard count, so aggregation — a pure function of the
+ordered record list — cannot tell the difference.
 
 ``run_callable_sweep`` is the in-process path for callers holding live
 solver objects and closures (the legacy ``run_sweep`` signature); it
@@ -30,24 +36,32 @@ since arbitrary callables have no content hash.
 
 from __future__ import annotations
 
+import queue
+import threading
 import time
 import zlib
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Callable, Sequence
+from typing import Any, Callable, Iterator, Sequence
 
 from repro.analysis.sweep import Sweep, SweepPoint
 from repro.engine.cache import TrialCache
 from repro.engine.pool import run_task_batches
+from repro.engine.shard import ShardManifest, ShardPlan
 from repro.engine.spec import ExperimentSpec, TrialSpec, resolve_ref
 
 __all__ = [
     "EngineReport",
+    "ShardReport",
     "auto_batch_size",
     "execute_trial",
     "execute_trial_batch",
+    "iter_records",
+    "merge_shard_reports",
+    "plan_experiment",
     "run_callable_sweep",
     "run_experiment",
+    "run_shard",
 ]
 
 # The auto heuristic never picks a chunk larger than this: it bounds
@@ -352,60 +366,164 @@ def aggregate_points(
     return points
 
 
-def run_experiment(
+def plan_experiment(
     spec: ExperimentSpec,
+    num_shards: int = 1,
+    batch_size: int | None = None,
+    workers: int = 1,
+) -> ShardPlan:
+    """Cut a spec's full trial grid into a deterministic shard plan.
+
+    The plan is a pure function of ``(spec, num_shards, batch_size)``:
+    chunking always covers the FULL grid — never the cache-missing
+    subset, which would differ per host — so re-planning anywhere, at
+    any cache state, yields byte-identical shards.  ``workers`` only
+    feeds the :func:`auto_batch_size` heuristic when ``batch_size`` is
+    None; pin ``batch_size`` explicitly when plans must agree across
+    hosts with different CPU counts.
+
+    Invalid ``num_shards``/``batch_size`` values are rejected by
+    ``ShardPlan.__post_init__`` — one copy of each guard.
+    """
+    trials = spec.trials()
+    if batch_size is None:
+        batch_size = auto_batch_size(len(trials), workers, len(spec.seeds))
+    chunks = _chunk_missing(trials, range(len(trials)), batch_size)
+    return ShardPlan(
+        spec=spec,
+        num_shards=num_shards,
+        batch_size=batch_size,
+        chunks=tuple(tuple(chunk) for chunk in chunks),
+    )
+
+
+@dataclass
+class ShardReport:
+    """One shard's slice of records plus its run accounting.
+
+    ``records`` pairs each *global* trial index (into the spec's grid)
+    with its JSON-safe record, in shard execution order — a shard only
+    ever holds a slice of the grid, so aggregation waits for
+    :func:`merge_shard_reports`.
+    """
+
+    manifest: ShardManifest
+    records: list[tuple[int, dict[str, Any]]]
+    trials_total: int
+    cache_hits: int
+    computed: int
+    elapsed: float
+    workers: int
+    batches: int
+    batch_size: int
+
+    def summary(self) -> str:
+        dispatch = ""
+        if self.batches:
+            dispatch = f" in {self.batches} chunk(s) of <= {self.batch_size}"
+        return (
+            f"{self.manifest.spec.name} "
+            # 0-based, like --shard parsing and the status table.
+            f"[shard {self.manifest.shard_index}/{self.manifest.num_shards}]: "
+            f"{self.trials_total} trials ({self.cache_hits} cached, "
+            f"{self.computed} computed{dispatch}) on {self.workers} worker(s) "
+            f"in {self.elapsed:.2f}s"
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "manifest": self.manifest.as_dict(),
+            "records": [[i, record] for i, record in self.records],
+            "trials_total": self.trials_total,
+            "cache_hits": self.cache_hits,
+            "computed": self.computed,
+            "elapsed_s": round(self.elapsed, 4),
+            "workers": self.workers,
+            "batches": self.batches,
+            "batch_size": self.batch_size,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "ShardReport":
+        return cls(
+            manifest=ShardManifest.from_dict(payload["manifest"]),
+            records=[(int(i), record) for i, record in payload["records"]],
+            trials_total=payload["trials_total"],
+            cache_hits=payload["cache_hits"],
+            computed=payload["computed"],
+            elapsed=payload.get("elapsed_s", 0.0),
+            workers=payload["workers"],
+            batches=payload["batches"],
+            batch_size=payload["batch_size"],
+        )
+
+
+def run_shard(
+    manifest: ShardManifest,
     workers: int = 1,
     cache: TrialCache | None = None,
-    batch_size: int | None = None,
     on_record: Callable[[dict[str, Any]], None] | None = None,
-) -> EngineReport:
-    """Run (or replay) one experiment spec and aggregate its sweep.
+) -> ShardReport:
+    """Execute one shard of a plan: this shard's chunks, nothing else.
 
-    ``batch_size`` caps how many trials travel in one worker dispatch
-    chunk (None = :func:`auto_batch_size`); chunks never span two grid
-    sizes.  ``on_record`` streams results: it fires once per record —
-    immediately (in grid order) for cache hits, then as each computed
-    chunk completes, in chunk order at any worker count.
+    Cache-held trials replay without dispatch; the missing remainder
+    re-packs into dispatch chunks that still never mix sizes or exceed
+    the plan's ``batch_size`` — scattered misses after a partial merge
+    travel a few full chunks, not many one-trial pickles.  ``on_record``
+    streams the shard's records: cache hits first (in shard grid
+    order), then computed chunks as they complete.  Give each shard its
+    own cache root (``TrialCache(root, isolation=...)``) when several
+    run concurrently on one filesystem, and merge the roots afterward.
     """
     start = time.perf_counter()
-    if batch_size is not None and batch_size < 1:
-        raise ValueError(f"batch size must be positive, got {batch_size}")
+    spec = manifest.spec
     trials = spec.trials()
-    keys = [trial.key() for trial in trials]
-    records: list[dict[str, Any] | None] = [None] * len(trials)
-    missing: list[int] = []
+    indices = manifest.trial_indices()
+    if any(not 0 <= i < len(trials) for i in indices):
+        raise ValueError(
+            f"manifest for {spec.name!r} indexes outside the "
+            f"{len(trials)}-trial grid (stale plan?)"
+        )
+    got: dict[int, dict[str, Any]] = {}
+    missing: set[int] = set()
     if cache is not None:
-        for i, key in enumerate(keys):
-            records[i] = cache.get(key)
-            if records[i] is None:
-                missing.append(i)
+        for i in indices:
+            record = cache.get(trials[i].key())
+            if record is None:
+                missing.add(i)
+            else:
+                got[i] = record
     else:
-        missing = list(range(len(trials)))
-    cache_hits = len(trials) - len(missing)
+        missing = set(indices)
     if on_record is not None:
-        for i, record in enumerate(records):
-            if record is not None:
-                on_record(record)
+        for i in indices:
+            if i in got:
+                on_record(got[i])
 
-    chunks: list[list[int]] = []
-    if missing:
-        if batch_size is None:
-            batch_size = auto_batch_size(len(missing), workers, len(spec.seeds))
-        chunks = _chunk_missing(trials, missing, batch_size)
+    # Re-pack the shard's missing trials with the same chunker the plan
+    # used: on a cold run this reproduces the plan chunks exactly (they
+    # are already maximal per size), and on a partially warm cache it
+    # packs the remnants the way the pre-shard runner packed its
+    # missing subset, instead of shipping many underfull chunks.
+    missing_in_order = [
+        i for chunk in manifest.chunks for i in chunk if i in missing
+    ]
+    chunks = _chunk_missing(trials, missing_in_order, manifest.batch_size)
+    if chunks:
         payloads = [
             {"trials": [trials[i].to_payload() for i in chunk]}
             for chunk in chunks
         ]
 
         def deliver(chunk_pos: int, chunk_records: list[dict[str, Any]]) -> None:
-            indices = chunks[chunk_pos]
-            if len(chunk_records) != len(indices):
+            chunk = chunks[chunk_pos]
+            if len(chunk_records) != len(chunk):
                 raise ValueError(
                     f"chunk {chunk_pos} returned {len(chunk_records)} records "
-                    f"for {len(indices)} trials"
+                    f"for {len(chunk)} trials"
                 )
-            for i, record in zip(indices, chunk_records):
-                records[i] = record
+            for i, record in zip(chunk, chunk_records):
+                got[i] = record
                 if on_record is not None:
                     on_record(record)
 
@@ -417,8 +535,61 @@ def run_experiment(
             on_result=deliver,
         )
         if cache is not None:
-            cache.put_many((keys[i], records[i]) for i in missing)
+            cache.put_many((trials[i].key(), got[i]) for i in sorted(missing))
 
+    return ShardReport(
+        manifest=manifest,
+        records=[(i, got[i]) for i in indices],
+        trials_total=len(indices),
+        cache_hits=len(indices) - len(missing),
+        computed=len(missing),
+        elapsed=time.perf_counter() - start,
+        workers=workers,
+        batches=len(chunks),
+        batch_size=manifest.batch_size,
+    )
+
+
+def merge_shard_reports(reports: Sequence[ShardReport]) -> EngineReport:
+    """Reduce a plan's K shard reports into one :class:`EngineReport`.
+
+    Accepts the reports in any order (shards may have run anywhere, in
+    any interleaving) and rebuilds the grid-ordered record list and the
+    aggregated ``Sweep`` bit-identically to a single-host
+    :func:`run_experiment`.  Refuses reports from different plans
+    (``plan_key`` mismatch), duplicate shards, and incomplete coverage
+    — a merge must never silently aggregate half a grid.
+    """
+    if not reports:
+        raise ValueError("merge needs at least one shard report")
+    manifests = [report.manifest for report in reports]
+    plan_keys = {manifest.plan_key for manifest in manifests}
+    if len(plan_keys) != 1:
+        raise ValueError(
+            f"shard reports come from {len(plan_keys)} different plans; "
+            "re-plan and re-run rather than merging across plans"
+        )
+    num_shards = manifests[0].num_shards
+    seen = sorted(manifest.shard_index for manifest in manifests)
+    if seen != list(range(num_shards)):
+        raise ValueError(
+            f"shard coverage incomplete or duplicated: have shards {seen}, "
+            f"need exactly 0..{num_shards - 1}"
+        )
+    spec = manifests[0].spec
+    total = len(spec.ns) * len(spec.seeds)
+    records: list[dict[str, Any] | None] = [None] * total
+    for report in reports:
+        for i, record in report.records:
+            if records[i] is not None:
+                raise ValueError(f"trial index {i} appears in two shards")
+            records[i] = record
+    holes = [i for i, record in enumerate(records) if record is None]
+    if holes:
+        raise ValueError(
+            f"merged reports leave {len(holes)} trial(s) uncovered "
+            f"(first missing index: {holes[0]})"
+        )
     sweep = Sweep(
         solver_name=spec.solver_display_name(),
         points=aggregate_points(spec.ns, spec.seeds, records),
@@ -427,14 +598,136 @@ def run_experiment(
         spec=spec,
         sweep=sweep,
         records=records,  # type: ignore[arg-type]
-        trials_total=len(trials),
-        cache_hits=cache_hits,
-        computed=len(missing),
-        elapsed=time.perf_counter() - start,
-        workers=workers,
-        batches=len(chunks),
-        batch_size=batch_size or 0,
+        trials_total=total,
+        cache_hits=sum(report.cache_hits for report in reports),
+        computed=sum(report.computed for report in reports),
+        elapsed=sum(report.elapsed for report in reports),
+        workers=max(report.workers for report in reports),
+        batches=sum(report.batches for report in reports),
+        batch_size=manifests[0].batch_size if any(
+            report.batches for report in reports
+        ) else 0,
     )
+
+
+def run_experiment(
+    spec: ExperimentSpec,
+    workers: int = 1,
+    cache: TrialCache | None = None,
+    batch_size: int | None = None,
+    on_record: Callable[[dict[str, Any]], None] | None = None,
+) -> EngineReport:
+    """Run (or replay) one experiment spec and aggregate its sweep.
+
+    This is the single-shard special case of the general pipeline —
+    literally ``plan_experiment(num_shards=1)`` + :func:`run_shard` +
+    :func:`merge_shard_reports`; there is no second code path.
+    ``batch_size`` caps how many trials travel in one worker dispatch
+    chunk (None = :func:`auto_batch_size`); chunks never span two grid
+    sizes.  ``on_record`` streams results: it fires once per record —
+    immediately (in grid order) for cache hits, then as each computed
+    chunk completes, in chunk order at any worker count.
+    """
+    start = time.perf_counter()
+    if batch_size is None and cache is not None:
+        # Key the auto heuristic off the cache-missing subset, as the
+        # pre-shard runner did: a warm cache's small remainder should
+        # spread across the workers, not ride in one chunk sized for
+        # the full grid.  Sharded plans cannot do this — their chunking
+        # must be cache-independent to be host-independent — but the
+        # single-shard case has no such constraint.
+        missing = sum(
+            1 for trial in spec.trials() if not cache.contains(trial.key())
+        )
+        if missing:
+            batch_size = auto_batch_size(missing, workers, len(spec.seeds))
+    plan = plan_experiment(
+        spec, num_shards=1, batch_size=batch_size, workers=workers
+    )
+    shard = run_shard(
+        plan.manifest(0), workers=workers, cache=cache, on_record=on_record
+    )
+    report = merge_shard_reports([shard])
+    # Whole-call elapsed, like the pre-shard runner: the warm-cache
+    # pre-scan above does the shard-file loading, so the shard's own
+    # timer alone would understate replay cost.
+    report.elapsed = time.perf_counter() - start
+    return report
+
+
+_ITER_DONE = object()
+
+
+class _IterAbandoned(Exception):
+    """Raised inside the background run when the consumer went away."""
+
+
+def iter_records(
+    spec: ExperimentSpec,
+    workers: int = 1,
+    cache: TrialCache | None = None,
+    batch_size: int | None = None,
+) -> Iterator[dict[str, Any]]:
+    """Generator view over ``on_record``: yield records as they complete.
+
+    The experiment runs on a background thread feeding a queue, so the
+    consumer iterates at its own pace while cache replay and chunk
+    dispatch proceed underneath; ordering matches ``on_record`` (cache
+    hits in grid order, then computed chunks in chunk order).  The
+    generator's ``return`` value is the finished :class:`EngineReport`
+    — reachable as ``StopIteration.value``, or by driving it with
+    ``yield from`` — and a failed run re-raises the worker's exception
+    at the consumption point.
+
+    Closing the generator early (``break``, ``.close()``, garbage
+    collection) cancels the run at its next record boundary instead of
+    silently computing the rest of the grid; work not yet stored by
+    then is discarded, exactly like interrupting ``run_experiment`` —
+    a rerun replays whatever did reach the cache.
+    """
+    feed: "queue.Queue[Any]" = queue.Queue()
+    box: dict[str, Any] = {}
+    abandoned = threading.Event()
+
+    def emit(record: dict[str, Any]) -> None:
+        if abandoned.is_set():
+            raise _IterAbandoned()
+        feed.put(record)
+
+    def drive() -> None:
+        try:
+            box["report"] = run_experiment(
+                spec,
+                workers=workers,
+                cache=cache,
+                batch_size=batch_size,
+                on_record=emit,
+            )
+        except BaseException as err:  # re-raised on the consumer side
+            box["error"] = err
+        finally:
+            feed.put(_ITER_DONE)
+
+    thread = threading.Thread(
+        target=drive, name=f"iter_records({spec.name})", daemon=True
+    )
+    thread.start()
+    try:
+        while True:
+            item = feed.get()
+            if item is _ITER_DONE:
+                break
+            yield item
+    finally:
+        # Await the worker even on early close: once close() returns,
+        # nothing is still appending to the cache behind the caller's
+        # back.  The queue is unbounded, so the worker can never block
+        # on a put while we join it.
+        abandoned.set()
+        thread.join()
+    if "error" in box and not isinstance(box["error"], _IterAbandoned):
+        raise box["error"]
+    return box.get("report")
 
 
 def run_callable_sweep(

@@ -79,6 +79,12 @@ class TrialSpec:
     params: tuple[tuple[str, Any], ...] = ()
 
     def key(self) -> str:
+        # Memoized: the shard pipeline keys the same TrialSpec several
+        # times (missing pre-scan, shard lookup, store), and the hash
+        # is a pure function of the frozen fields.
+        cached = self.__dict__.get("_key")
+        if cached is not None:
+            return cached
         payload = json.dumps(
             {
                 "v": CACHE_VERSION,
@@ -92,7 +98,9 @@ class TrialSpec:
             sort_keys=True,
             separators=(",", ":"),
         )
-        return hashlib.sha256(payload.encode()).hexdigest()
+        key = hashlib.sha256(payload.encode()).hexdigest()
+        object.__setattr__(self, "_key", key)
+        return key
 
     def to_payload(self) -> dict[str, Any]:
         """A plain-dict form that survives pickling to any start method."""
@@ -138,20 +146,31 @@ class ExperimentSpec:
             raise ValueError(f"experiment {self.name!r} has an empty seed-grid")
 
     def trials(self) -> list[TrialSpec]:
-        """The full trial grid, in deterministic (n-major, seed-minor) order."""
-        canon = _canonical_params(self.params)
-        return [
-            TrialSpec(
-                solver=self.solver,
-                generator=self.generator,
-                verifier=self.verifier,
-                n=n,
-                seed=seed,
-                params=canon,
+        """The full trial grid, in deterministic (n-major, seed-minor) order.
+
+        Memoized per spec (specs are immutable): planning, shard
+        execution, and the warm-cache pre-scan all walk the same grid,
+        and sharing one TrialSpec list also shares the per-trial key
+        memos.  Callers get a fresh list object each time, so mutating
+        the returned list cannot poison the memo.
+        """
+        cached = self.__dict__.get("_trials")
+        if cached is None:
+            canon = _canonical_params(self.params)
+            cached = tuple(
+                TrialSpec(
+                    solver=self.solver,
+                    generator=self.generator,
+                    verifier=self.verifier,
+                    n=n,
+                    seed=seed,
+                    params=canon,
+                )
+                for n in self.ns
+                for seed in self.seeds
             )
-            for n in self.ns
-            for seed in self.seeds
-        ]
+            object.__setattr__(self, "_trials", cached)
+        return list(cached)
 
     def make_solver(self) -> Any:
         return resolve_ref(self.solver)()

@@ -10,6 +10,7 @@ by a custom verifier reading the prover's ``all_ok`` flag.
 
 from __future__ import annotations
 
+from repro.gadgets.corruptions import CORRUPTIONS as _CORRUPTION_NAMES
 from repro.runtime.registry import register_family, register_problem, register_solver
 
 __all__ = ["GadgetProverSolver", "gadget_instance", "verify_prover_ok"]
@@ -35,6 +36,10 @@ register_problem(
     families=("gadget",),
     randomized=False,
     description="the distributed prover V of Definition 2",
+    # Negative probes: on every registered corruption family the
+    # verifier must reject (V proves the error instead of accepting).
+    # Names only — repro.gadgets.probes registers the families.
+    unsound_families=tuple(f"corrupt-{name}" for name in _CORRUPTION_NAMES),
 )
 class GadgetProverSolver:
     """Adapter: the distributed prover V as a ``LocalAlgorithm``."""

@@ -52,6 +52,7 @@ __all__ = [
     "solvers",
     "solvers_for",
     "sound_triples",
+    "unsound_triples",
 ]
 
 # Modules whose import populates the catalogs.  Append-only: a module
@@ -61,6 +62,7 @@ _REGISTERING_MODULES = (
     "repro.generators",
     "repro.core.family",
     "repro.gadgets.proof",
+    "repro.gadgets.probes",
 )
 
 _PROBLEMS: dict[str, "ProblemInfo"] = {}
@@ -122,9 +124,17 @@ class SolverInfo:
     #: Advisory — shown by ``describe``; specs always go through
     #: :mod:`repro.runtime.entrypoints`.
     ref: str = ""
+    #: Declared *negative* probe targets: families the solver runs on
+    #: but whose outputs the verifier must REJECT (e.g. corruption
+    #: families).  The conformance suite exercises these through the
+    #: unsound path (``check_sound=False``) and demands rejection.
+    unsound_families: tuple[str, ...] = ()
 
     def sound_on(self, family_name: str) -> bool:
         return family_name in self.families
+
+    def unsound_on(self, family_name: str) -> bool:
+        return family_name in self.unsound_families
 
 
 @dataclass(frozen=True)
@@ -239,6 +249,7 @@ def register_solver(
     families: tuple[str, ...] | list[str],
     randomized: bool | None = None,
     description: str = "",
+    unsound_families: tuple[str, ...] | list[str] = (),
 ):
     """Class/function decorator (or plain call) adding a solver entry.
 
@@ -246,8 +257,16 @@ def register_solver(
     solver the :class:`~repro.runtime.driver.Runtime` adapter can
     execute (``solve``, ``node_factory``/``finish``, or ``run_views``
     — see the driver module).  ``randomized`` defaults to the solver
-    class's ``randomized`` attribute.
+    class's ``randomized`` attribute.  ``unsound_families`` declares
+    negative probe targets: families the solver executes on but whose
+    outputs the verifier must reject (see :func:`unsound_triples`).
     """
+    overlap = set(families) & set(unsound_families)
+    if overlap:
+        raise ValueError(
+            f"solver {name!r} declares {sorted(overlap)} both sound and "
+            "unsound; a family is one or the other"
+        )
 
     def decorate(factory: Callable[[], Any]):
         is_rand = randomized
@@ -263,6 +282,7 @@ def register_solver(
                 families=tuple(families),
                 description=description,
                 ref=_ref_of(factory),
+                unsound_families=tuple(unsound_families),
             ),
         )
         return factory
@@ -461,4 +481,22 @@ def sound_triples() -> list[tuple[ProblemInfo, SolverInfo, FamilyInfo]]:
                     f"satisfy problem {problem_info.name!r}'s constraints"
                 )
             out.append((problem_info, solver_info, family_info))
+    return out
+
+
+def unsound_triples() -> list[tuple[ProblemInfo, SolverInfo, FamilyInfo]]:
+    """The declared negative probes, validated like :func:`sound_triples`.
+
+    One entry per solver per family the solver declared *unsound* on.
+    These are runs the verifier must REJECT — the conformance suite
+    pushes each through the driver with ``check_sound=False`` and
+    demands ``verified is False``, so the unsound detection path is
+    exercised as systematically as the sound one.
+    """
+    ensure_registered()
+    out: list[tuple[ProblemInfo, SolverInfo, FamilyInfo]] = []
+    for solver_info in sorted(_SOLVERS.values(), key=lambda s: s.name):
+        problem_info = problem(solver_info.problem)
+        for family_name in solver_info.unsound_families:
+            out.append((problem_info, solver_info, family(family_name)))
     return out

@@ -19,6 +19,8 @@ from repro.runtime.entrypoints import family_ref, solver_ref, verifier_ref
 RUNTIME = Runtime()
 TRIPLES = registry.sound_triples()
 TRIPLE_IDS = [f"{s.name}@{f.name}" for _p, s, f in TRIPLES]
+UNSOUND = registry.unsound_triples()
+UNSOUND_IDS = [f"{s.name}@{f.name}" for _p, s, f in UNSOUND]
 
 
 class TestCatalogs:
@@ -101,6 +103,42 @@ class TestConformance:
     def test_verify_false_skips_verification(self):
         record = RUNTIME.run("mis", "mis-luby", "cycle", 8, verify=False)
         assert record.verified is None
+
+
+class TestUnsoundProbes:
+    """The declared negative triples: the verifier must reject each."""
+
+    def test_probe_catalog_covers_every_corruption(self):
+        from repro.gadgets.corruptions import CORRUPTIONS
+
+        probed = {f.name for _p, _s, f in UNSOUND}
+        assert {f"corrupt-{name}" for name in CORRUPTIONS} <= probed
+
+    @pytest.mark.parametrize(
+        ("problem", "solver", "family"),
+        [(p.name, s.name, f.name) for p, s, f in UNSOUND],
+        ids=UNSOUND_IDS,
+    )
+    def test_unsound_triple_is_rejected(self, problem, solver, family):
+        family_info = registry.family(family)
+        for n in family_info.test_sizes:
+            record = RUNTIME.run(
+                problem, solver, family, n, seed=1, check_sound=False
+            )
+            assert record.verified is False, record.summary()
+
+    def test_sound_check_still_rejects_probes(self):
+        with pytest.raises(ValueError, match="not declared sound"):
+            RUNTIME.run("gadget-proof", "gadget-prover", "corrupt-color-clash", 4)
+
+    def test_overlapping_declarations_rejected(self):
+        with pytest.raises(ValueError, match="both sound and unsound"):
+            registry.register_solver(
+                "bad-solver",
+                problem="gadget-proof",
+                families=("gadget",),
+                unsound_families=("gadget",),
+            )
 
 
 class TestAdapter:
