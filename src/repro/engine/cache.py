@@ -26,11 +26,16 @@ part of every key.
 from __future__ import annotations
 
 import json
+import logging
 import os
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator
 
+from repro.obs import get_telemetry
+
 __all__ = ["CacheStats", "TrialCache", "DEFAULT_CACHE_DIR"]
+
+_LOG = logging.getLogger("repro.engine")
 
 DEFAULT_CACHE_DIR = ".repro-cache"
 
@@ -127,6 +132,7 @@ class TrialCache:
         if name in self._loaded:
             return
         self._loaded.add(name)
+        get_telemetry().incr("cache.shard_files_loaded")
         for root in self._read_roots():
             for key, record in _parse_lines(os.path.join(root, name)):
                 self._index[key] = record
@@ -162,8 +168,10 @@ class TrialCache:
         record = self._peek(key)
         if record is None:
             self.stats.misses += 1
+            get_telemetry().incr("cache.misses")
         else:
             self.stats.hits += 1
+            get_telemetry().incr("cache.hits")
         return record
 
     def get_many(self, keys: Iterable[str]) -> dict[str, dict[str, Any]]:
@@ -187,6 +195,7 @@ class TrialCache:
             self._index[key] = record
             by_shard.setdefault(name, []).append(_dump_line(key, record))
             self.stats.puts += 1
+            get_telemetry().incr("cache.puts")
         if not by_shard:
             return
         write_root = self.isolation or self.root
@@ -264,7 +273,12 @@ class TrialCache:
         """
         if not os.path.isdir(other_root):
             raise ValueError(f"cache root {other_root!r} does not exist")
-        return self._absorb(_scan_root(other_root))
+        added = self._absorb(_scan_root(other_root))
+        telemetry = get_telemetry()
+        telemetry.incr("cache.merges")
+        telemetry.incr("cache.merge_new_records", added)
+        _LOG.debug("merged %s into %s: %d new record(s)", other_root, self.root, added)
+        return added
 
     # -- maintenance ---------------------------------------------------
 
@@ -316,4 +330,11 @@ class TrialCache:
                     for key, record in sorted(entries.items()):
                         handle.write(_dump_line(key, record) + "\n")
                 os.replace(tmp, path)
+        telemetry = get_telemetry()
+        telemetry.incr("cache.compactions")
+        telemetry.incr("cache.records_compacted", dropped)
+        _LOG.debug(
+            "compacted %s: kept %d, dropped %d stale line(s)",
+            self.root, kept, dropped,
+        )
         return kept, dropped

@@ -7,9 +7,19 @@ Subcommands::
     python -m repro.engine run-shard --plan plan.json --shard 0/4 --cache-out shard0
     python -m repro.engine merge --plan plan.json --from shard0 shard1 shard2 shard3
     python -m repro.engine status --plan plan.json
+    python -m repro.engine stats --report report.json
+    python -m repro.engine cache --status
     python -m repro.engine cache --compact
     python -m repro.engine list
     python -m repro.engine describe mis-luby
+
+Observability: every subcommand takes ``-v``/``-vv`` (INFO/DEBUG on
+the ``repro`` loggers, stderr) and ``-q`` (errors only — library
+users can equally attach their own handlers and silence the CLI);
+``run``/``run-shard``/``merge`` take ``--trace PATH`` to stream span
+and event JSONL for offline analysis; ``stats`` renders the
+phase/counter breakdown a ``--json`` report carries, and ``cache
+--status`` the trial cache's counters.
 
 The bare legacy form (``python -m repro.engine --experiment ...``) is
 still accepted and means ``run``.  ``run`` prints one table per spec
@@ -31,6 +41,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import logging
 import os
 import sys
 from typing import Sequence
@@ -45,9 +56,63 @@ from repro.engine.runner import (
     run_shard,
 )
 from repro.engine.shard import ShardPlan, dump_plan_file, load_plan_file
+from repro.obs import (
+    TraceSink,
+    format_telemetry,
+    get_telemetry,
+    merge_snapshots,
+)
 from repro.runtime import registry
 
 __all__ = ["main", "format_report", "format_catalog"]
+
+_LOG = logging.getLogger("repro.engine.cli")
+
+
+def _setup_logging(args: argparse.Namespace) -> None:
+    """Configure the ``repro`` logger tree from the CLI verbosity flags.
+
+    The library logs through stdlib ``logging`` (``repro.engine`` /
+    ``repro.runtime``) and never prints; the CLI decides what surfaces.
+    Default is warnings only; ``-v`` (or ``--progress``, which implies
+    wanting to watch the run) shows INFO, ``-vv`` DEBUG, ``-q`` errors
+    only.  Embedding callers configure the same loggers themselves and
+    never go through here.
+    """
+    quiet = getattr(args, "quiet", False)
+    verbose = getattr(args, "verbose", 0)
+    progress = getattr(args, "progress", False)
+    if quiet:
+        level = logging.ERROR
+    elif verbose >= 2:
+        level = logging.DEBUG
+    elif verbose or progress:
+        level = logging.INFO
+    else:
+        level = logging.WARNING
+    root = logging.getLogger("repro")
+    root.setLevel(level)
+    if not root.handlers:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter("%(name)s: %(message)s"))
+        root.addHandler(handler)
+
+
+def _attach_trace(args: argparse.Namespace) -> TraceSink | None:
+    """Open ``--trace PATH`` and attach it to the default telemetry."""
+    path = getattr(args, "trace", None)
+    if not path:
+        return None
+    sink = TraceSink(path)
+    get_telemetry().attach_sink(sink)
+    _LOG.info("streaming span/event trace to %s", path)
+    return sink
+
+
+def _detach_trace(sink: TraceSink | None) -> None:
+    if sink is not None:
+        get_telemetry().detach_sink()
+        sink.close()
 
 
 def format_report(reports: Sequence[EngineReport]) -> str:
@@ -273,14 +338,51 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
         metavar="PATH",
         help="also write the report as JSON to PATH ('-' for stdout)",
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="stream span/event telemetry as JSONL to PATH (off by default)",
+    )
+
+
+def _sub_parser(common: argparse.ArgumentParser):
+    """A subparser class that carries the shared -v/-q flags."""
+
+    class _Sub(argparse.ArgumentParser):
+        def __init__(self, **kwargs):
+            parents = list(kwargs.pop("parents", []))
+            parents.append(common)
+            super().__init__(parents=parents, **kwargs)
+
+    return _Sub
+
+
+def _verbosity_parent() -> argparse.ArgumentParser:
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="log INFO from the repro loggers to stderr (-vv for DEBUG)",
+    )
+    common.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="errors only: silence logs and progress rendering",
+    )
+    return common
 
 
 def _parser() -> argparse.ArgumentParser:
+    common = _verbosity_parent()
     parser = argparse.ArgumentParser(
         prog="python -m repro.engine",
         description="parallel, cached, shardable experiment runs",
     )
-    subparsers = parser.add_subparsers(dest="command")
+    subparsers = parser.add_subparsers(dest="command", parser_class=_sub_parser(common))
     run = subparsers.add_parser("run", help="run a named experiment")
     _add_run_arguments(run)
 
@@ -370,6 +472,12 @@ def _parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also write the shard reports (with records) as JSON to PATH",
     )
+    run_shard_p.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="stream span/event telemetry as JSONL to PATH (off by default)",
+    )
 
     merge = subparsers.add_parser(
         "merge",
@@ -411,6 +519,12 @@ def _parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also write the merged report as JSON to PATH ('-' for stdout)",
     )
+    merge.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="stream span/event telemetry as JSONL to PATH (off by default)",
+    )
 
     status = subparsers.add_parser(
         "status", help="per-shard completion of a plan against a cache"
@@ -435,6 +549,29 @@ def _parser() -> argparse.ArgumentParser:
         ),
     )
 
+    stats = subparsers.add_parser(
+        "stats",
+        help="render the telemetry (phase/counter breakdown) of a report or cache",
+    )
+    stats.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help=(
+            "a JSON report written by run/run-shard/merge --json; renders "
+            "its merged telemetry block"
+        ),
+    )
+    stats.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "render a cache root's stats instead (record count + cache "
+            f"counters; default when --report is absent: {DEFAULT_CACHE_DIR})"
+        ),
+    )
+
     cache = subparsers.add_parser(
         "cache", help="inspect or compact a trial cache root"
     )
@@ -449,6 +586,14 @@ def _parser() -> argparse.ArgumentParser:
         help=(
             "rewrite shard files keeping only the last record per key "
             "(run only while no writer is using the root)"
+        ),
+    )
+    cache.add_argument(
+        "--status",
+        action="store_true",
+        help=(
+            "render the cache's obs counters (hits, misses, shard files "
+            "loaded, records compacted) alongside the record count"
         ),
     )
 
@@ -497,14 +642,23 @@ def _run(args: argparse.Namespace) -> int:
             raise ValueError(
                 f"--batch-size must be positive, got {args.batch_size}"
             )
+        sink = _attach_trace(args)
     except (ValueError, OSError) as err:
         print(f"error: {err}", file=sys.stderr)
         return 2
+    try:
+        return _run_specs(args, specs, cache)
+    finally:
+        _detach_trace(sink)
+
+
+def _run_specs(args, specs, cache) -> int:
+    show_progress = args.progress and not args.quiet
     reports = []
     last_partial: str | None = None
     for spec in specs:
         on_record = None
-        if args.progress:
+        if show_progress:
             on_record = _progress_callback(
                 spec.name, len(spec.ns) * len(spec.seeds)
             )
@@ -517,7 +671,7 @@ def _run(args: argparse.Namespace) -> int:
                 on_record=on_record,
             )
         )
-        if args.progress:
+        if show_progress:
             print(file=sys.stderr)
             # Progressive Figure 1 at large --max-n: re-render the
             # partial landscape whenever a completed spec changed it,
@@ -527,9 +681,8 @@ def _run(args: argparse.Namespace) -> int:
                 partial = _render_partial_landscape(reports)
                 if partial is not None and partial != last_partial:
                     last_partial = partial
-                    print(
-                        f"[{len(reports)}/{len(specs)} specs]\n{partial}",
-                        file=sys.stderr,
+                    _LOG.info(
+                        "[%d/%d specs]\n%s", len(reports), len(specs), partial
                     )
     print(format_report(reports))
     if args.experiment == "landscape":
@@ -621,14 +774,23 @@ def _run_shard(args: argparse.Namespace) -> int:
         _experiment, plans = _load_plans(args.plan)
         index = _parse_shard(args.shard, plans[0].num_shards)
         cache = TrialCache(args.cache_dir, isolation=args.cache_out)
+        sink = _attach_trace(args)
     except (ValueError, OSError) as err:
         print(f"error: {err}", file=sys.stderr)
         return 2
+    try:
+        return _run_shard_plans(args, plans, index, cache)
+    finally:
+        _detach_trace(sink)
+
+
+def _run_shard_plans(args, plans, index, cache) -> int:
+    show_progress = args.progress and not args.quiet
     reports = []
     for plan in plans:
         manifest = plan.manifest(index)
         on_record = None
-        if args.progress:
+        if show_progress:
             on_record = _progress_callback(
                 f"{manifest.spec.name} [shard {index}]",
                 len(manifest.trial_indices()),
@@ -638,7 +800,7 @@ def _run_shard(args: argparse.Namespace) -> int:
                 manifest, workers=args.workers, cache=cache, on_record=on_record
             )
         )
-        if args.progress:
+        if show_progress:
             print(file=sys.stderr)
         print(reports[-1].summary())
     total = sum(rep.trials_total for rep in reports)
@@ -667,6 +829,7 @@ def _run_shard(args: argparse.Namespace) -> int:
 
 
 def _merge(args: argparse.Namespace) -> int:
+    sink = None
     try:
         experiment, plans = _load_plans(args.plan)
         if not args.sources and not os.path.isdir(args.cache_dir):
@@ -677,13 +840,22 @@ def _merge(args: argparse.Namespace) -> int:
                 f"cache root {args.cache_dir!r} does not exist and no "
                 "--from roots were given; nothing to merge"
             )
+        sink = _attach_trace(args)
         cache = TrialCache(args.cache_dir)
         added = 0
         for root in args.sources:
             added += cache.merge(root)
     except (ValueError, OSError) as err:
+        _detach_trace(sink)
         print(f"error: {err}", file=sys.stderr)
         return 2
+    try:
+        return _merge_replay(args, experiment, plans, cache, added)
+    finally:
+        _detach_trace(sink)
+
+
+def _merge_replay(args, experiment, plans, cache, added) -> int:
     print(
         f"merged {len(args.sources)} shard root(s) into {args.cache_dir}: "
         f"{added} new record(s)"
@@ -797,10 +969,71 @@ def _cache(args: argparse.Namespace) -> int:
                 f"compacted {args.cache_dir}: kept {kept} record(s), "
                 f"dropped {dropped} stale line(s)"
             )
-        else:
+        if args.status or not args.compact:
             cache.load_all()
             print(f"{args.cache_dir}: {len(cache)} record(s) on disk")
+        if args.status:
+            # The obs counters this process accrued touching the root:
+            # shard files loaded by load_all, stale lines compacted by
+            # --compact, plus hits/misses/puts once a runner used it.
+            print(
+                "\n"
+                + format_telemetry(
+                    get_telemetry().snapshot(),
+                    title=args.cache_dir,
+                    counter_prefix="cache.",
+                )
+            )
     except (ValueError, OSError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _stats(args: argparse.Namespace) -> int:
+    """Render telemetry: from a --json report file, or a cache root."""
+    try:
+        if args.report is not None:
+            with open(args.report, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            entries = payload.get("reports", [])
+            if isinstance(payload, dict) and "telemetry" in payload:
+                entries = [payload]  # a single report object
+            snapshots = [
+                entry.get("telemetry")
+                for entry in entries
+                if isinstance(entry, dict)
+            ]
+            if not any(snapshots):
+                print(
+                    f"{args.report}: no telemetry blocks "
+                    "(written by an older build, or telemetry disabled?)"
+                )
+                return 0
+            merged = merge_snapshots(snapshots)
+            title = payload.get("experiment") or args.report
+            print(format_telemetry(merged, title=str(title)))
+            for entry in entries:
+                if isinstance(entry, dict) and "elapsed_s" in entry:
+                    name = entry.get("experiment", "?")
+                    wall = entry.get("elapsed_s", 0.0)
+                    compute = entry.get("cpu_elapsed_s", wall)
+                    print(
+                        f"{name}: {wall:.2f}s wall, {compute:.2f}s compute"
+                    )
+            return 0
+        root = args.cache_dir or DEFAULT_CACHE_DIR
+        if not os.path.isdir(root):
+            raise ValueError(f"cache root {root!r} does not exist")
+        cache = TrialCache(root)
+        cache.load_all()
+        print(f"{root}: {len(cache)} record(s) on disk\n")
+        print(
+            format_telemetry(
+                get_telemetry().snapshot(), title=root, counter_prefix="cache."
+            )
+        )
+    except (ValueError, OSError, json.JSONDecodeError) as err:
         print(f"error: {err}", file=sys.stderr)
         return 2
     return 0
@@ -815,6 +1048,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     if argv and argv[0].startswith("-") and argv[0] not in ("-h", "--help"):
         argv = ["run", *argv]
     args = _parser().parse_args(argv)
+    _setup_logging(args)
     if args.command == "run":
         return _run(args)
     if args.command == "plan":
@@ -825,6 +1059,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _merge(args)
     if args.command == "status":
         return _status(args)
+    if args.command == "stats":
+        return _stats(args)
     if args.command == "cache":
         return _cache(args)
     if args.command == "list":

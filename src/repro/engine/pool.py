@@ -20,13 +20,18 @@ serial loop with identical semantics.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import os
 import pickle
 import random
 from typing import Any, Callable, Sequence
 
+from repro.obs import get_telemetry
+
 __all__ = ["default_workers", "run_task_batches", "run_tasks"]
+
+_LOG = logging.getLogger("repro.engine")
 
 # Derivation salt for per-worker global-RNG reseeding (mirrors
 # repro.util.rng's golden-ratio mixing).
@@ -42,6 +47,13 @@ def _worker_init(pool_seed: int) -> None:  # pragma: no cover - runs in child
     mixed = (pool_seed * 0x100000001B3 + os.getpid() * _WORKER_SALT)
     mixed &= 0xFFFFFFFFFFFFFFFF
     random.seed(mixed ^ (mixed >> 33))
+    # A forked worker inherits the parent's accrued telemetry and any
+    # open trace sink.  Drop both: the parent snapshots its own deltas
+    # itself (inheriting them here would double-count on merge), and a
+    # trace file gets exactly one writer.
+    telemetry = get_telemetry()
+    telemetry.detach_sink()
+    telemetry.reset()
 
 
 def _chunksize(num_tasks: int, workers: int) -> int:
@@ -136,12 +148,17 @@ def run_task_batches(
     loop (where ``on_result`` fires after each batch just the same).
     """
     batches = list(batches)
+    telemetry = get_telemetry()
+    telemetry.incr("pool.batches_dispatched", len(batches))
     if workers <= 1 or len(batches) <= 1:
         return _serial_map(fn, batches, on_result)
     if not _parallel_viable(fn, batches[0]):
+        telemetry.incr("pool.serial_fallbacks")
         return _serial_map(fn, batches, on_result)
     pool = _make_pool(workers, len(batches), pool_seed)
     if pool is None:
+        telemetry.incr("pool.serial_fallbacks")
+        _LOG.debug("process pool unavailable; %d batch(es) run serially", len(batches))
         return _serial_map(fn, batches, on_result)
     out = []
     with pool:

@@ -36,12 +36,13 @@ since arbitrary callables have no content hash.
 
 from __future__ import annotations
 
+import logging
 import queue
 import threading
 import time
 import zlib
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Sequence
 
 from repro.analysis.sweep import Sweep, SweepPoint
@@ -49,6 +50,9 @@ from repro.engine.cache import TrialCache
 from repro.engine.pool import run_task_batches
 from repro.engine.shard import ShardManifest, ShardPlan
 from repro.engine.spec import ExperimentSpec, TrialSpec, resolve_ref
+from repro.obs import get_telemetry, merge_snapshots
+
+_LOG = logging.getLogger("repro.engine")
 
 __all__ = [
     "EngineReport",
@@ -81,6 +85,8 @@ class EngineReport:
     trials_total: int
     cache_hits: int
     computed: int
+    #: Wall-clock proxy: the whole call for a single-host run, the
+    #: slowest shard (max) for a merged one.
     elapsed: float
     workers: int
     #: Worker dispatch accounting: how many chunks the missing trials
@@ -88,15 +94,27 @@ class EngineReport:
     #: was dispatched).
     batches: int = 0
     batch_size: int = 0
+    #: Aggregate compute: the *sum* of shard elapsed times.  Equals
+    #: ``elapsed`` for a single-shard run; for a K-shard merge the two
+    #: answer different questions (how long you waited vs. how much
+    #: work the fleet did).
+    cpu_elapsed: float = 0.0
+    #: Merged telemetry snapshot (see :mod:`repro.obs`); None when the
+    #: producing run had telemetry disabled.
+    telemetry: dict[str, Any] | None = None
 
     def summary(self) -> str:
         dispatch = ""
         if self.batches:
             dispatch = f" in {self.batches} chunk(s) of <= {self.batch_size}"
+        timing = f"{self.elapsed:.2f}s"
+        if self.cpu_elapsed > self.elapsed + 1e-9:
+            # Only a multi-shard merge splits the two: say both.
+            timing = f"{self.elapsed:.2f}s wall ({self.cpu_elapsed:.2f}s compute)"
         return (
             f"{self.spec.name}: {self.trials_total} trials "
             f"({self.cache_hits} cached, {self.computed} computed{dispatch}) "
-            f"on {self.workers} worker(s) in {self.elapsed:.2f}s"
+            f"on {self.workers} worker(s) in {timing}"
         )
 
     def as_dict(self) -> dict[str, Any]:
@@ -110,6 +128,8 @@ class EngineReport:
             "batches": self.batches,
             "batch_size": self.batch_size,
             "elapsed_s": round(self.elapsed, 4),
+            "cpu_elapsed_s": round(self.cpu_elapsed, 4),
+            "telemetry": self.telemetry,
             "points": [
                 {
                     "n": p.n,
@@ -143,12 +163,17 @@ def execute_trial(trial: TrialSpec) -> dict[str, Any]:
     """
     from repro.runtime.driver import dispatch_solver
 
+    telemetry = get_telemetry()
     generator = resolve_ref(trial.generator)
-    instance = generator(trial.n, trial.seed, **dict(trial.params))
+    with telemetry.span("trial.build"):
+        instance = generator(trial.n, trial.seed, **dict(trial.params))
     solver = resolve_ref(trial.solver)()
-    result = dispatch_solver(solver, instance)
+    with telemetry.span("trial.solve"):
+        result = dispatch_solver(solver, instance)
     if trial.verifier:
-        resolve_ref(trial.verifier)(instance, result)
+        with telemetry.span("trial.verify"):
+            resolve_ref(trial.verifier)(instance, result)
+    telemetry.incr("trials.executed")
     return {
         "n": trial.n,
         "actual_n": instance.graph.num_nodes,
@@ -252,30 +277,35 @@ def execute_trial_batch(trials: Sequence[TrialSpec]) -> list[dict[str, Any]]:
     checker = _resolved(head.verifier) if head.verifier else None
     family_info = _registry_family(head.generator)
     instances = _worker_instances()
+    telemetry = get_telemetry()
     records = []
     for trial in trials:
-        if family_info is not None:
-            instance, core_key = instances.build(
-                family_info, trial.n, trial.seed, dict(trial.params)
-            )
-        else:
-            instance = generator(trial.n, trial.seed, **dict(trial.params))
-            core_key = None
-        result = dispatch_solver(solver_factory(), instance)
-        if head.verifier:
-            prepared = (
-                _prepared_checker(head.verifier, core_key, instance)
-                if core_key is not None
-                else None
-            )
-            if prepared is not None:
-                verdict = prepared.verify(result.outputs)
-                assert verdict.ok, (
-                    f"{prepared.problem.name}: {verdict.summary()}"
+        with telemetry.span("trial.build"):
+            if family_info is not None:
+                instance, core_key = instances.build(
+                    family_info, trial.n, trial.seed, dict(trial.params)
                 )
             else:
-                assert checker is not None
-                checker(instance, result)
+                instance = generator(trial.n, trial.seed, **dict(trial.params))
+                core_key = None
+        with telemetry.span("trial.solve"):
+            result = dispatch_solver(solver_factory(), instance)
+        if head.verifier:
+            with telemetry.span("trial.verify"):
+                prepared = (
+                    _prepared_checker(head.verifier, core_key, instance)
+                    if core_key is not None
+                    else None
+                )
+                if prepared is not None:
+                    verdict = prepared.verify(result.outputs)
+                    assert verdict.ok, (
+                        f"{prepared.problem.name}: {verdict.summary()}"
+                    )
+                else:
+                    assert checker is not None
+                    checker(instance, result)
+        telemetry.incr("trials.executed")
         records.append(
             {
                 "n": trial.n,
@@ -288,11 +318,23 @@ def execute_trial_batch(trials: Sequence[TrialSpec]) -> list[dict[str, Any]]:
     return records
 
 
-def _execute_batch_payload(payload: dict[str, Any]) -> list[dict[str, Any]]:
-    """Module-level pool target: chunk payload in, record list out."""
-    return execute_trial_batch(
+def _execute_batch_payload(payload: dict[str, Any]) -> dict[str, Any]:
+    """Module-level pool target: chunk payload in, records + telemetry out.
+
+    The worker's telemetry delta for this chunk piggybacks on the
+    result — one extra dict per chunk, no new IPC round trips.  The
+    delta snapshot (``reset=True``) drains everything this process
+    accrued since its previous snapshot, so serial fallback (where
+    "worker" and parent are the same process) partitions the exact same
+    totals across the same chunk boundaries.
+    """
+    records = execute_trial_batch(
         [TrialSpec.from_payload(entry) for entry in payload["trials"]]
     )
+    return {
+        "records": records,
+        "telemetry": get_telemetry().snapshot(reset=True),
+    }
 
 
 def auto_batch_size(num_missing: int, workers: int, seeds_per_n: int) -> int:
@@ -416,6 +458,10 @@ class ShardReport:
     workers: int
     batches: int
     batch_size: int
+    #: This shard's merged telemetry snapshot (parent deltas + one
+    #: piggybacked delta per dispatched chunk); None with telemetry
+    #: disabled.  Merges into the EngineReport exactly like records do.
+    telemetry: dict[str, Any] | None = field(default=None)
 
     def summary(self) -> str:
         dispatch = ""
@@ -441,6 +487,7 @@ class ShardReport:
             "workers": self.workers,
             "batches": self.batches,
             "batch_size": self.batch_size,
+            "telemetry": self.telemetry,
         }
 
     @classmethod
@@ -455,6 +502,7 @@ class ShardReport:
             workers=payload["workers"],
             batches=payload["batches"],
             batch_size=payload["batch_size"],
+            telemetry=payload.get("telemetry"),
         )
 
 
@@ -474,7 +522,17 @@ def run_shard(
     order), then computed chunks as they complete.  Give each shard its
     own cache root (``TrialCache(root, isolation=...)``) when several
     run concurrently on one filesystem, and merge the roots afterward.
+
+    The report's ``telemetry`` block is assembled from delta snapshots:
+    one per dispatched chunk (piggybacked on the chunk result by the
+    worker that ran it) plus this process's own deltas around the
+    lookup and store phases.  Deltas drain everything accrued since the
+    previous snapshot, so telemetry recorded between two ``run_shard``
+    calls in one process is attributed to the later shard's report —
+    every increment lands in exactly one report, at any worker count.
     """
+    telemetry = get_telemetry()
+    snapshots: list[dict[str, Any]] = []
     start = time.perf_counter()
     spec = manifest.spec
     trials = spec.trials()
@@ -486,19 +544,24 @@ def run_shard(
         )
     got: dict[int, dict[str, Any]] = {}
     missing: set[int] = set()
-    if cache is not None:
-        for i in indices:
-            record = cache.get(trials[i].key())
-            if record is None:
-                missing.add(i)
-            else:
-                got[i] = record
-    else:
-        missing = set(indices)
+    with telemetry.span("shard.lookup"):
+        if cache is not None:
+            for i in indices:
+                record = cache.get(trials[i].key())
+                if record is None:
+                    missing.add(i)
+                else:
+                    got[i] = record
+        else:
+            missing = set(indices)
     if on_record is not None:
         for i in indices:
             if i in got:
                 on_record(got[i])
+    # Drain the lookup-phase delta now: in serial fallback the chunks
+    # below execute in this same process, and their piggybacked deltas
+    # must not scoop the parent-side counters accrued so far.
+    snapshots.append(telemetry.snapshot(reset=True))
 
     # Re-pack the shard's missing trials with the same chunker the plan
     # used: on a cold run this reproduces the plan chunks exactly (they
@@ -515,8 +578,11 @@ def run_shard(
             for chunk in chunks
         ]
 
-        def deliver(chunk_pos: int, chunk_records: list[dict[str, Any]]) -> None:
+        def deliver(chunk_pos: int, result: dict[str, Any]) -> None:
             chunk = chunks[chunk_pos]
+            chunk_records = result["records"]
+            if result.get("telemetry"):
+                snapshots.append(result["telemetry"])
             if len(chunk_records) != len(chunk):
                 raise ValueError(
                     f"chunk {chunk_pos} returned {len(chunk_records)} records "
@@ -535,9 +601,14 @@ def run_shard(
             on_result=deliver,
         )
         if cache is not None:
-            cache.put_many((trials[i].key(), got[i]) for i in sorted(missing))
+            with telemetry.span("shard.store"):
+                cache.put_many(
+                    (trials[i].key(), got[i]) for i in sorted(missing)
+                )
+    # The store-phase delta (plus pool dispatch accounting).
+    snapshots.append(telemetry.snapshot(reset=True))
 
-    return ShardReport(
+    report = ShardReport(
         manifest=manifest,
         records=[(i, got[i]) for i in indices],
         trials_total=len(indices),
@@ -547,7 +618,10 @@ def run_shard(
         workers=workers,
         batches=len(chunks),
         batch_size=manifest.batch_size,
+        telemetry=merge_snapshots(snapshots) if telemetry.enabled else None,
     )
+    _LOG.info("%s", report.summary())
+    return report
 
 
 def merge_shard_reports(reports: Sequence[ShardReport]) -> EngineReport:
@@ -559,6 +633,13 @@ def merge_shard_reports(reports: Sequence[ShardReport]) -> EngineReport:
     :func:`run_experiment`.  Refuses reports from different plans
     (``plan_key`` mismatch), duplicate shards, and incomplete coverage
     — a merge must never silently aggregate half a grid.
+
+    Time accounting keeps both meanings apart: ``elapsed`` is the
+    slowest shard (the wall-clock proxy — shards running concurrently
+    finish when the last one does), ``cpu_elapsed`` is the sum over
+    shards (aggregate compute).  Shard telemetry snapshots reduce with
+    the same idempotent key union the trial cache uses, so the merged
+    ``telemetry`` block is independent of merge order.
     """
     if not reports:
         raise ValueError("merge needs at least one shard report")
@@ -594,6 +675,7 @@ def merge_shard_reports(reports: Sequence[ShardReport]) -> EngineReport:
         solver_name=spec.solver_display_name(),
         points=aggregate_points(spec.ns, spec.seeds, records),
     )
+    shard_telemetry = [report.telemetry for report in reports]
     return EngineReport(
         spec=spec,
         sweep=sweep,
@@ -601,12 +683,18 @@ def merge_shard_reports(reports: Sequence[ShardReport]) -> EngineReport:
         trials_total=total,
         cache_hits=sum(report.cache_hits for report in reports),
         computed=sum(report.computed for report in reports),
-        elapsed=sum(report.elapsed for report in reports),
+        elapsed=max(report.elapsed for report in reports),
         workers=max(report.workers for report in reports),
         batches=sum(report.batches for report in reports),
         batch_size=manifests[0].batch_size if any(
             report.batches for report in reports
         ) else 0,
+        cpu_elapsed=sum(report.elapsed for report in reports),
+        telemetry=(
+            merge_snapshots(shard_telemetry)
+            if any(shard_telemetry)
+            else None
+        ),
     )
 
 
@@ -650,8 +738,10 @@ def run_experiment(
     report = merge_shard_reports([shard])
     # Whole-call elapsed, like the pre-shard runner: the warm-cache
     # pre-scan above does the shard-file loading, so the shard's own
-    # timer alone would understate replay cost.
+    # timer alone would understate replay cost.  One host did all the
+    # work, so the aggregate-compute figure is the same number.
     report.elapsed = time.perf_counter() - start
+    report.cpu_elapsed = report.elapsed
     return report
 
 

@@ -1,0 +1,319 @@
+"""Process-local telemetry: spans, counters, events — snapshot/merge-able.
+
+One :class:`Telemetry` object per process accumulates three primitive
+kinds of signal:
+
+* **spans** — named, nestable, monotonic-clock timed sections.  Each
+  distinct span *path* (names of enclosing spans joined with ``/``)
+  aggregates to ``(count, total_s, min_s, max_s)``; the raw intervals
+  also stream to an attached trace sink, when one is attached.
+* **counters** — monotonic non-negative integers (cache hits, core
+  reuses, chunks dispatched).
+* **events** — structured records forwarded verbatim to the trace sink
+  (a no-op without one, so the hot path pays one attribute test).
+
+The layer is deliberately passive: nothing here ever touches trial
+records, RNG state, or the cache contents, so enabling or disabling
+telemetry cannot change what an experiment computes.
+
+Snapshot / merge algebra
+------------------------
+
+Distribution follows the trial store's idempotent-merge design.  A
+:meth:`Telemetry.snapshot` is a JSON-safe dict whose payload lives
+under ``parts``, keyed by a unique *origin* id (``pid:seq`` by
+default).  With ``reset=True`` the snapshot is a **delta** — it drains
+everything accrued since the previous reset — so a long-running
+process partitions its activity into disjoint parts, each counted in
+exactly one snapshot.  :func:`merge_snapshots` is then a plain key
+union over origins:
+
+* **idempotent** — re-merging a snapshot (a retried chunk result, a
+  re-delivered shard report) changes nothing, because its origins are
+  already present;
+* **commutative / associative** — origins are disjoint keys, so any
+  merge order yields the same mapping (parts are stored key-sorted to
+  make equal merges compare equal structurally, too).
+
+:func:`aggregate` folds a merged snapshot's parts into one flat
+``{"counters": ..., "spans": ...}`` view for rendering; the folds
+(integer sums; count/total/min/max combination) are themselves
+commutative and associative, so the aggregate is independent of merge
+order by construction.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Any, Iterable, Mapping, Sequence
+
+__all__ = [
+    "SNAPSHOT_VERSION",
+    "Telemetry",
+    "aggregate",
+    "get_telemetry",
+    "merge_snapshots",
+    "set_enabled",
+]
+
+# Bump when the snapshot layout changes; mergers refuse foreign
+# versions rather than silently misreading parts.
+SNAPSHOT_VERSION = 1
+
+_SPAN_ZERO = (0, 0.0, float("inf"), 0.0)  # count, total, min, max
+
+# (pid, nonce) for default snapshot origins.  The nonce regenerates
+# whenever the pid changes (fork), and keeps origins from colliding
+# when snapshots from different *hosts* — where bare pids can repeat —
+# meet in one merge.
+_PROCESS_TAG: list = [None, None]
+
+
+def _process_tag() -> str:
+    pid = os.getpid()
+    if _PROCESS_TAG[0] != pid:
+        _PROCESS_TAG[0] = pid
+        _PROCESS_TAG[1] = os.urandom(4).hex()
+    return f"{pid}-{_PROCESS_TAG[1]}"
+
+
+class _Span:
+    """One timed section; re-entrant via fresh objects, thread-aware."""
+
+    __slots__ = ("_telemetry", "_name", "_path", "_t0")
+
+    def __init__(self, telemetry: "Telemetry", name: str):
+        self._telemetry = telemetry
+        self._name = name
+        self._path = name
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Span":
+        stack = self._telemetry._stack()
+        if stack:
+            self._path = f"{stack[-1]}/{self._name}"
+        stack.append(self._path)
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        elapsed = time.perf_counter() - self._t0
+        stack = self._telemetry._stack()
+        if stack and stack[-1] == self._path:
+            stack.pop()
+        self._telemetry._record_span(self._path, elapsed, len(stack))
+
+
+class _NullSpan:
+    """The disabled-telemetry span: one shared no-op object."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Telemetry:
+    """One process's live telemetry registry.
+
+    Thread-safe for counters and span recording (one lock, held only
+    for dict updates); the span nesting stack is thread-local, so
+    concurrent threads nest independently.  ``enabled=False`` turns
+    every primitive into a near-free no-op — the records an experiment
+    produces are identical either way, only the accounting disappears.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+        self._spans: dict[str, tuple[int, float, float, float]] = {}
+        self._local = threading.local()
+        self._seq = 0
+        self._sink: Any = None  # duck-typed: .emit(dict), .close()
+
+    # -- internals -----------------------------------------------------
+
+    def _stack(self) -> list[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _record_span(self, path: str, elapsed: float, depth: int) -> None:
+        with self._lock:
+            count, total, lo, hi = self._spans.get(path, _SPAN_ZERO)
+            self._spans[path] = (
+                count + 1,
+                total + elapsed,
+                min(lo, elapsed),
+                max(hi, elapsed),
+            )
+        sink = self._sink
+        if sink is not None:
+            sink.emit(
+                {"kind": "span", "name": path, "depth": depth, "dur_s": elapsed}
+            )
+
+    # -- primitives ----------------------------------------------------
+
+    def incr(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to a monotonic counter (created at zero)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + n
+
+    def span(self, name: str):
+        """A context manager timing one named, nestable section."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _Span(self, name)
+
+    def event(self, name: str, **fields: Any) -> None:
+        """Forward one structured record to the trace sink, if any."""
+        if not self.enabled:
+            return
+        sink = self._sink
+        if sink is not None:
+            sink.emit({"kind": "event", "name": name, **fields})
+
+    # -- trace sink ----------------------------------------------------
+
+    def attach_sink(self, sink: Any) -> None:
+        """Stream spans/events to ``sink`` (anything with ``emit(dict)``)."""
+        self._sink = sink
+
+    def detach_sink(self) -> Any:
+        """Detach and return the current sink (None when absent)."""
+        sink, self._sink = self._sink, None
+        return sink
+
+    # -- snapshot / reset ----------------------------------------------
+
+    def counters(self) -> dict[str, int]:
+        """A copy of the live counter map (test/inspection helper)."""
+        with self._lock:
+            return dict(self._counters)
+
+    def span_stats(self) -> dict[str, dict[str, float]]:
+        """A copy of the live span aggregates, JSON-shaped."""
+        with self._lock:
+            return {path: _span_dict(stat) for path, stat in self._spans.items()}
+
+    def reset(self) -> None:
+        """Drop everything accrued (worker processes reset after fork)."""
+        with self._lock:
+            self._counters.clear()
+            self._spans.clear()
+
+    def snapshot(self, origin: str | None = None, reset: bool = False) -> dict:
+        """A JSON-safe, mergeable view of everything accrued.
+
+        ``origin`` names this snapshot's part; the default
+        ``pid-nonce:seq`` is unique per process *and* per call, which
+        is what makes delta snapshots (``reset=True``) merge
+        exactly-once.  An empty registry snapshots to zero parts, so
+        idle processes add nothing to a merge.
+        """
+        with self._lock:
+            if origin is None:
+                origin = f"{_process_tag()}:{self._seq}"
+            self._seq += 1
+            counters = dict(self._counters)
+            spans = {path: _span_dict(stat) for path, stat in self._spans.items()}
+            if reset:
+                self._counters.clear()
+                self._spans.clear()
+        parts: dict[str, Any] = {}
+        if counters or spans:
+            parts[origin] = {"counters": counters, "spans": spans}
+        return {"v": SNAPSHOT_VERSION, "parts": parts}
+
+
+def _span_dict(stat: Sequence[float]) -> dict[str, float]:
+    count, total, lo, hi = stat
+    return {
+        "count": int(count),
+        "total_s": total,
+        "min_s": 0.0 if lo == float("inf") else lo,
+        "max_s": hi,
+    }
+
+
+def merge_snapshots(snapshots: Iterable[Mapping | None]) -> dict:
+    """Key-union snapshots by origin: idempotent, commutative.
+
+    ``None`` entries are tolerated (a report whose producer had
+    telemetry disabled merges as empty).  A duplicate origin must
+    carry the same part it did before — parts are deltas of one
+    process interval, so a collision is a re-delivery, not a conflict
+    — and is skipped, which is exactly what makes retried chunks and
+    re-merged shard reports count once.
+    """
+    parts: dict[str, Any] = {}
+    for snap in snapshots:
+        if not snap:
+            continue
+        version = snap.get("v")
+        if version != SNAPSHOT_VERSION:
+            raise ValueError(
+                f"unsupported telemetry snapshot version {version!r} "
+                f"(this build reads version {SNAPSHOT_VERSION})"
+            )
+        for origin, part in snap.get("parts", {}).items():
+            parts.setdefault(origin, part)
+    return {"v": SNAPSHOT_VERSION, "parts": dict(sorted(parts.items()))}
+
+
+def aggregate(snapshot: Mapping | None) -> dict[str, dict]:
+    """Fold a snapshot's parts into one flat counters/spans view."""
+    counters: dict[str, int] = {}
+    spans: dict[str, dict[str, float]] = {}
+    if snapshot:
+        for part in snapshot.get("parts", {}).values():
+            for name, value in part.get("counters", {}).items():
+                counters[name] = counters.get(name, 0) + int(value)
+            for path, stat in part.get("spans", {}).items():
+                into = spans.get(path)
+                if into is None:
+                    spans[path] = dict(stat)
+                else:
+                    into["count"] += stat["count"]
+                    into["total_s"] += stat["total_s"]
+                    into["min_s"] = min(into["min_s"], stat["min_s"])
+                    into["max_s"] = max(into["max_s"], stat["max_s"])
+    return {
+        "counters": dict(sorted(counters.items())),
+        "spans": dict(sorted(spans.items())),
+    }
+
+
+# -- the process-default registry ---------------------------------------
+#
+# Library code records into one shared per-process Telemetry; the
+# runner drains it into reports via delta snapshots.  Worker processes
+# reset it right after fork (see repro.engine.pool) so inherited parent
+# state is never double-counted.
+
+_DEFAULT = Telemetry()
+
+
+def get_telemetry() -> Telemetry:
+    """The process-default telemetry registry."""
+    return _DEFAULT
+
+
+def set_enabled(enabled: bool) -> bool:
+    """Toggle the default registry; returns the previous state."""
+    previous = _DEFAULT.enabled
+    _DEFAULT.enabled = enabled
+    return previous

@@ -22,6 +22,7 @@ reduce to calls into this driver.
 
 from __future__ import annotations
 
+import logging
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -34,8 +35,11 @@ from repro.lcl.verifier import verify as lcl_verify
 from repro.local.algorithm import Instance, RunResult
 from repro.local.simulator import SyncEngine
 from repro.local.views import ViewOracle
+from repro.obs import get_telemetry
 from repro.runtime import registry
 from repro.runtime.registry import FamilyInfo, ProblemInfo, SolverInfo
+
+_LOG = logging.getLogger("repro.runtime")
 
 __all__ = [
     "InstanceCache",
@@ -196,6 +200,10 @@ def cached_prepared_verifier(
     ):
         entry = prepared_verifier_for(problem_info, instance)
         cache[key] = entry
+        if entry is not None:
+            get_telemetry().incr("prepared_verifier.built")
+    elif entry is not None:
+        get_telemetry().incr("prepared_verifier.reused")
     return entry
 
 
@@ -237,6 +245,7 @@ class InstanceCache:
         """
         if params or not family_info.reusable_topology:
             self.bypassed += 1
+            get_telemetry().incr("instance_cache.bypassed")
             return family_info.builder(n, seed, **(params or {})), None
         key = (family_info.name, n)
         core = self._cores.get(key)
@@ -247,9 +256,11 @@ class InstanceCache:
             if len(self._cores) > self.capacity:
                 self._cores.popitem(last=False)
             self.built += 1
+            get_telemetry().incr("instance_cache.core_built")
         else:
             self._cores.move_to_end(key)
             self.reused += 1
+            get_telemetry().incr("instance_cache.core_reused")
         assert family_info.dress is not None
         return family_info.dress(core, n, seed), key
 
@@ -306,6 +317,13 @@ class TrialBatch:
         self._prepared: OrderedDict[tuple[str, int], PreparedVerifier | None] = (
             OrderedDict()
         )
+        _LOG.debug(
+            "trial batch ready: %s / %s @ %s (verify=%s)",
+            self.problem_info.name,
+            self.solver_info.name,
+            self.family_info.name,
+            verify,
+        )
 
     def _check(self, instance: Instance, result: RunResult, core_key) -> None:
         if core_key is not None:
@@ -326,16 +344,21 @@ class TrialBatch:
 
     def run_one(self, n: int, seed: int = 0) -> TrialRecord:
         """One trial through the amortized pipeline."""
+        telemetry = get_telemetry()
         start = time.perf_counter()
-        instance, core_key = self.instances.build(self.family_info, n, seed)
-        result = dispatch_solver(self._solver_factory(), instance)
+        with telemetry.span("trial.build"):
+            instance, core_key = self.instances.build(self.family_info, n, seed)
+        with telemetry.span("trial.solve"):
+            result = dispatch_solver(self._solver_factory(), instance)
         verified: bool | None = None
         if self._verify:
             verified = True
             try:
-                self._check(instance, result, core_key)
+                with telemetry.span("trial.verify"):
+                    self._check(instance, result, core_key)
             except AssertionError:
                 verified = False
+        telemetry.incr("trials.run")
         return TrialRecord(
             problem=self.problem_info.name,
             solver=self.solver_info.name,
@@ -417,16 +440,21 @@ class Runtime:
                     f"solver {solver!r} is not declared sound on family "
                     f"{family!r} (sound on: {', '.join(solver_info.families)})"
                 )
+        telemetry = get_telemetry()
         start = time.perf_counter()
-        instance = family_info.builder(n, seed)
-        result = dispatch_solver(solver_info.factory(), instance)
+        with telemetry.span("trial.build"):
+            instance = family_info.builder(n, seed)
+        with telemetry.span("trial.solve"):
+            result = dispatch_solver(solver_info.factory(), instance)
         verified: bool | None = None
         if verify:
             verified = True
             try:
-                verifier_for(problem_info)(instance, result)
+                with telemetry.span("trial.verify"):
+                    verifier_for(problem_info)(instance, result)
             except AssertionError:
                 verified = False
+        telemetry.incr("trials.run")
         return TrialRecord(
             problem=problem_info.name,
             solver=solver_info.name,

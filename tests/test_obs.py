@@ -1,0 +1,388 @@
+"""Telemetry: span timing, merge algebra, piggyback, and inertness.
+
+The obs layer's load-bearing claims, pinned:
+
+* spans nest by path and their aggregates are timing-consistent
+  (``min <= mean <= max``, children bounded by parents);
+* snapshot merge is idempotent and commutative — the same algebra the
+  shard-merge suite pins for trial records, tested the same
+  property-style way (shuffled orders, injected duplicates);
+* worker telemetry piggybacks on chunk results, so engine counters
+  agree at every worker count;
+* telemetry is inert: records are bit-identical with it enabled or
+  disabled, at K in {1, 4} shards.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import time
+
+import pytest
+
+from repro.engine.cache import TrialCache
+from repro.engine.cli import main as engine_main
+from repro.engine.runner import (
+    ShardReport,
+    merge_shard_reports,
+    plan_experiment,
+    run_experiment,
+    run_shard,
+)
+from repro.engine.spec import ExperimentSpec
+from repro.obs import (
+    Telemetry,
+    TraceSink,
+    aggregate,
+    format_telemetry,
+    get_telemetry,
+    merge_snapshots,
+    set_enabled,
+)
+from repro.runtime.entrypoints import family_ref, solver_ref, verifier_ref
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    """Each test sees a drained, enabled default registry."""
+    telemetry = get_telemetry()
+    telemetry.detach_sink()
+    telemetry.reset()
+    was_enabled = set_enabled(True)
+    yield telemetry
+    set_enabled(was_enabled)
+    telemetry.detach_sink()
+    telemetry.reset()
+
+
+def registry_spec(name, solver, problem, family, ns, seeds):
+    return ExperimentSpec(
+        name=name,
+        solver=solver_ref(solver),
+        generator=family_ref(family),
+        verifier=verifier_ref(problem),
+        ns=ns,
+        seeds=seeds,
+    )
+
+
+PARITY_SPEC = registry_spec(
+    "obs/degree-parity/parity@cycle",
+    "parity",
+    "degree-parity",
+    "cycle",
+    ns=(8, 12, 16),
+    seeds=(0, 1),
+)
+
+
+class TestSpans:
+    def test_span_aggregates_are_timing_consistent(self):
+        telemetry = Telemetry()
+        for _ in range(3):
+            with telemetry.span("work"):
+                time.sleep(0.002)
+        stats = telemetry.span_stats()["work"]
+        assert stats["count"] == 3
+        mean = stats["total_s"] / stats["count"]
+        assert 0 < stats["min_s"] <= mean <= stats["max_s"] <= stats["total_s"]
+        # perf_counter is monotonic: three 2ms sleeps cannot total less
+        # than one of them.
+        assert stats["total_s"] >= 0.002
+
+    def test_nested_spans_record_slash_paths(self):
+        telemetry = Telemetry()
+        with telemetry.span("outer"):
+            with telemetry.span("inner"):
+                time.sleep(0.001)
+            with telemetry.span("inner"):
+                pass
+        stats = telemetry.span_stats()
+        assert set(stats) == {"outer", "outer/inner"}
+        assert stats["outer"]["count"] == 1
+        assert stats["outer/inner"]["count"] == 2
+        # A child runs inside its parent, so its time is bounded by it.
+        assert stats["outer/inner"]["total_s"] <= stats["outer"]["total_s"]
+
+    def test_nesting_is_per_thread(self):
+        telemetry = Telemetry()
+        seen = []
+
+        def worker():
+            with telemetry.span("threaded"):
+                seen.append(True)
+
+        with telemetry.span("outer"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        # The thread's span must not pick up the main thread's stack.
+        assert "threaded" in telemetry.span_stats()
+        assert "outer/threaded" not in telemetry.span_stats()
+
+    def test_span_recorded_even_when_body_raises(self):
+        telemetry = Telemetry()
+        with pytest.raises(RuntimeError):
+            with telemetry.span("failing"):
+                raise RuntimeError("boom")
+        assert telemetry.span_stats()["failing"]["count"] == 1
+
+    def test_disabled_telemetry_is_a_noop(self):
+        telemetry = Telemetry(enabled=False)
+        with telemetry.span("ignored"):
+            pass
+        telemetry.incr("ignored", 5)
+        telemetry.event("ignored")
+        assert telemetry.counters() == {}
+        assert telemetry.span_stats() == {}
+        assert telemetry.snapshot()["parts"] == {}
+
+
+def random_snapshot(rng: random.Random) -> dict:
+    """One synthetic delta snapshot with a unique origin."""
+    telemetry = Telemetry()
+    for _ in range(rng.randrange(1, 5)):
+        telemetry.incr(rng.choice(["a", "b", "c"]), rng.randrange(1, 10))
+    for _ in range(rng.randrange(0, 3)):
+        with telemetry.span(rng.choice(["x", "y"])):
+            pass
+    return telemetry.snapshot(origin=f"origin-{rng.random()}")
+
+
+class TestMergeAlgebra:
+    def test_delta_snapshots_partition_exactly_once(self):
+        telemetry = Telemetry()
+        telemetry.incr("hits", 3)
+        first = telemetry.snapshot(reset=True)
+        telemetry.incr("hits", 2)
+        second = telemetry.snapshot(reset=True)
+        merged = merge_snapshots([first, second])
+        assert aggregate(merged)["counters"] == {"hits": 5}
+        # And nothing is left behind after the final drain.
+        assert telemetry.snapshot()["parts"] == {}
+
+    def test_merge_is_idempotent_and_commutative(self):
+        rng = random.Random(0xC0FFEE)
+        for _ in range(20):
+            snapshots = [random_snapshot(rng) for _ in range(rng.randrange(2, 6))]
+            reference = merge_snapshots(snapshots)
+            # Any shuffle, with duplicates injected, merges identically.
+            shuffled = snapshots[:] + [rng.choice(snapshots)]
+            rng.shuffle(shuffled)
+            assert merge_snapshots(shuffled) == reference
+            # Re-merging the merged snapshot adds nothing.
+            assert merge_snapshots([reference, reference]) == reference
+            assert merge_snapshots([reference, *snapshots]) == reference
+            # Aggregation is therefore order-independent too.
+            assert aggregate(merge_snapshots(shuffled)) == aggregate(reference)
+
+    def test_merge_is_associative(self):
+        rng = random.Random(7)
+        a, b, c = (random_snapshot(rng) for _ in range(3))
+        left = merge_snapshots([merge_snapshots([a, b]), c])
+        right = merge_snapshots([a, merge_snapshots([b, c])])
+        assert left == right
+
+    def test_merge_tolerates_none_and_empty(self):
+        empty = Telemetry().snapshot()
+        assert merge_snapshots([None, empty, None]) == {"v": 1, "parts": {}}
+        assert aggregate(None) == {"counters": {}, "spans": {}}
+
+    def test_merge_refuses_foreign_versions(self):
+        with pytest.raises(ValueError, match="snapshot version"):
+            merge_snapshots([{"v": 99, "parts": {}}])
+
+    def test_snapshot_round_trips_through_json(self):
+        telemetry = Telemetry()
+        telemetry.incr("hits", 2)
+        with telemetry.span("phase"):
+            pass
+        snap = telemetry.snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+
+
+class TestEngineTelemetry:
+    def test_worker_snapshots_piggyback_at_every_worker_count(self):
+        total = len(PARITY_SPEC.ns) * len(PARITY_SPEC.seeds)
+        views = {}
+        for workers in (1, 2):
+            get_telemetry().reset()
+            report = run_experiment(PARITY_SPEC, workers=workers)
+            assert report.telemetry is not None
+            views[workers] = aggregate(report.telemetry)
+            counters = views[workers]["counters"]
+            # Every computed trial was counted by whichever process ran
+            # it, and the snapshots all made it back to the report.
+            assert counters["trials.executed"] == total == report.computed
+            assert counters["pool.batches_dispatched"] == report.batches
+            spans = views[workers]["spans"]
+            for phase in ("trial.build", "trial.solve", "trial.verify"):
+                assert spans[phase]["count"] == total
+
+    def test_shard_report_telemetry_survives_the_payload_round_trip(self):
+        plan = plan_experiment(PARITY_SPEC, num_shards=2, batch_size=2)
+        report = run_shard(plan.manifest(0))
+        assert report.telemetry is not None
+        revived = ShardReport.from_dict(
+            json.loads(json.dumps(report.as_dict()))
+        )
+        assert revived.telemetry == report.telemetry
+
+    def test_merged_telemetry_is_order_independent(self):
+        plan = plan_experiment(PARITY_SPEC, num_shards=3, batch_size=2)
+        reports = [run_shard(plan.manifest(i)) for i in range(3)]
+        merged = [
+            merge_shard_reports([reports[i] for i in order])
+            for order in ((0, 1, 2), (2, 0, 1), (1, 2, 0))
+        ]
+        assert merged[0].telemetry == merged[1].telemetry == merged[2].telemetry
+        assert (
+            aggregate(merged[0].telemetry)["counters"]["trials.executed"]
+            == len(PARITY_SPEC.ns) * len(PARITY_SPEC.seeds)
+        )
+
+    def test_merge_reports_wall_clock_and_aggregate_compute(self):
+        plan = plan_experiment(PARITY_SPEC, num_shards=2, batch_size=2)
+        reports = [run_shard(plan.manifest(i)) for i in range(2)]
+        merged = merge_shard_reports(reports)
+        assert merged.elapsed == max(r.elapsed for r in reports)
+        assert merged.cpu_elapsed == pytest.approx(
+            sum(r.elapsed for r in reports)
+        )
+        payload = merged.as_dict()
+        assert payload["elapsed_s"] == round(merged.elapsed, 4)
+        assert payload["cpu_elapsed_s"] == round(merged.cpu_elapsed, 4)
+
+    @pytest.mark.parametrize("num_shards", [1, 4])
+    def test_records_bit_identical_with_telemetry_on_and_off(self, num_shards):
+        plan = plan_experiment(PARITY_SPEC, num_shards=num_shards, batch_size=2)
+
+        def run_all():
+            return merge_shard_reports(
+                [run_shard(plan.manifest(i)) for i in range(num_shards)]
+            )
+
+        with_telemetry = run_all()
+        assert with_telemetry.telemetry is not None
+        set_enabled(False)
+        without = run_all()
+        set_enabled(True)
+        assert without.telemetry is None
+        assert without.records == with_telemetry.records
+        assert without.sweep == with_telemetry.sweep
+
+    def test_warm_replay_counts_hits_not_trials(self, tmp_path):
+        cache = TrialCache(str(tmp_path / "cache"))
+        run_experiment(PARITY_SPEC, cache=cache)
+        get_telemetry().reset()
+        report = run_experiment(
+            PARITY_SPEC, cache=TrialCache(str(tmp_path / "cache"))
+        )
+        counters = aggregate(report.telemetry)["counters"]
+        assert counters["cache.hits"] == report.trials_total
+        assert "trials.executed" not in counters
+
+
+class TestCacheCounters:
+    def test_hit_miss_put_and_compaction_counters(self, tmp_path):
+        telemetry = get_telemetry()
+        cache = TrialCache(str(tmp_path / "cache"))
+        assert cache.get("aa-missing") is None
+        cache.put("aa-key", {"rounds": 1})
+        cache.put("aa-key", {"rounds": 1})  # duplicate append line
+        assert cache.get("aa-key") == {"rounds": 1}
+        counters = telemetry.counters()
+        assert counters["cache.misses"] == 1
+        assert counters["cache.hits"] == 1
+        assert counters["cache.puts"] == 2
+        kept, dropped = cache.compact()
+        counters = telemetry.counters()
+        assert counters["cache.compactions"] == 1
+        assert counters["cache.records_compacted"] == dropped == 1
+
+    def test_merge_counters(self, tmp_path):
+        telemetry = get_telemetry()
+        source = TrialCache(str(tmp_path / "source"))
+        source.put("ab-key", {"rounds": 2})
+        destination = TrialCache(str(tmp_path / "destination"))
+        destination.merge(str(tmp_path / "source"))
+        counters = telemetry.counters()
+        assert counters["cache.merges"] == 1
+        assert counters["cache.merge_new_records"] == 1
+
+
+class TestTraceAndRendering:
+    def test_trace_sink_streams_span_and_event_lines(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        telemetry = Telemetry()
+        with TraceSink(path) as sink:
+            telemetry.attach_sink(sink)
+            with telemetry.span("outer"):
+                with telemetry.span("inner"):
+                    pass
+            telemetry.event("marker", shard=3)
+            telemetry.detach_sink()
+        lines = [
+            json.loads(line)
+            for line in open(path, encoding="utf-8")
+            if line.strip()
+        ]
+        kinds = [(entry["kind"], entry.get("name")) for entry in lines]
+        # Spans emit on close: inner first, then outer, then the event.
+        assert kinds == [
+            ("span", "outer/inner"),
+            ("span", "outer"),
+            ("event", "marker"),
+        ]
+        assert lines[2]["shard"] == 3
+        assert all("t" in entry and "pid" in entry for entry in lines)
+
+    def test_format_telemetry_renders_phases_and_counters(self):
+        telemetry = Telemetry()
+        telemetry.incr("cache.hits", 2)
+        telemetry.incr("other.counter", 1)
+        with telemetry.span("trial.build"):
+            pass
+        text = format_telemetry(telemetry.snapshot(), title="demo")
+        assert "trial.build" in text and "cache.hits" in text
+        filtered = format_telemetry(
+            telemetry.snapshot(), title="demo", counter_prefix="cache."
+        )
+        assert "other.counter" not in filtered
+        assert "no telemetry recorded" in format_telemetry(None)
+
+    def test_cli_trace_stats_and_cache_status(self, tmp_path, capsys):
+        report_path = str(tmp_path / "report.json")
+        trace_path = str(tmp_path / "trace.jsonl")
+        cache_dir = str(tmp_path / "cache")
+        code = engine_main(
+            [
+                "run",
+                "--experiment",
+                "sinkless",
+                "--max-n",
+                "64",
+                "--workers",
+                "1",
+                "--cache-dir",
+                cache_dir,
+                "--json",
+                report_path,
+                "--trace",
+                trace_path,
+            ]
+        )
+        assert code == 0
+        with open(trace_path, encoding="utf-8") as handle:
+            kinds = {json.loads(line)["kind"] for line in handle if line.strip()}
+        assert "span" in kinds
+        capsys.readouterr()
+        assert engine_main(["stats", "--report", report_path]) == 0
+        out = capsys.readouterr().out
+        assert "phases" in out and "trial.solve" in out and "compute" in out
+        assert engine_main(["cache", "--cache-dir", cache_dir, "--status"]) == 0
+        out = capsys.readouterr().out
+        assert "record(s) on disk" in out
+        assert "cache.shard_files_loaded" in out
