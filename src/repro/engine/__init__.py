@@ -14,11 +14,32 @@ layer has always used.  The same pipeline scales out: a
 repro.engine`` exposes the named experiments of
 :mod:`repro.engine.experiments` and the
 ``plan``/``run-shard``/``merge`` flow from the shell.
+
+On top of the shard layer sits the fault-tolerant fabric
+(:func:`run_fabric`): a launcher that drives every shard as a
+supervised subprocess with persisted leases, heartbeat liveness,
+retry with exponential backoff, and graceful degradation to a gap
+manifest — plus the seeded fault-injection harness
+(:mod:`repro.engine.faults`) that makes each failure mode a
+deterministic test case.
 """
 
 from repro.engine.cache import DEFAULT_CACHE_DIR, CacheStats, TrialCache
 from repro.engine.experiments import EXPERIMENTS, build_experiment
-from repro.engine.pool import default_workers, run_task_batches, run_tasks
+from repro.engine.fabric import (
+    BackoffPolicy,
+    FabricResult,
+    Lease,
+    LeaseBoard,
+    run_fabric,
+)
+from repro.engine.faults import FaultInjector, FaultSpec, parse_fault_specs
+from repro.engine.pool import (
+    WorkerCrashed,
+    default_workers,
+    run_task_batches,
+    run_tasks,
+)
 from repro.engine.runner import (
     EngineReport,
     ShardReport,
@@ -43,17 +64,24 @@ from repro.engine.spec import (
 )
 
 __all__ = [
+    "BackoffPolicy",
     "CACHE_VERSION",
     "CacheStats",
     "DEFAULT_CACHE_DIR",
     "EXPERIMENTS",
     "EngineReport",
     "ExperimentSpec",
+    "FabricResult",
+    "FaultInjector",
+    "FaultSpec",
+    "Lease",
+    "LeaseBoard",
     "ShardManifest",
     "ShardPlan",
     "ShardReport",
     "TrialCache",
     "TrialSpec",
+    "WorkerCrashed",
     "auto_batch_size",
     "build_experiment",
     "default_workers",
@@ -62,10 +90,12 @@ __all__ = [
     "grid",
     "iter_records",
     "merge_shard_reports",
+    "parse_fault_specs",
     "plan_experiment",
     "resolve_ref",
     "run_callable_sweep",
     "run_experiment",
+    "run_fabric",
     "run_shard",
     "run_task_batches",
     "run_tasks",

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator
 
 from repro.obs import get_telemetry
+from repro.util.fsio import atomic_write_text
 
 __all__ = ["CacheStats", "TrialCache", "DEFAULT_CACHE_DIR"]
 
@@ -216,6 +217,9 @@ class TrialCache:
         ``keys=None`` exports everything on disk; an explicit iterable
         exports exactly those keys (unknown ones are skipped).  Lines
         are key-sorted, so equal caches export byte-identical files.
+        The file is staged and atomically replaced: a consumer pulling
+        an export sees the previous complete file or the new one, never
+        a half-written mixture, even if the exporter is killed.
         """
         if keys is None:
             self.load_all()
@@ -227,9 +231,10 @@ class TrialCache:
                 if record is not None:
                     picked[key] = record  # dedups repeated keys, too
             entries = sorted(picked.items())
-        with open(path, "w", encoding="utf-8") as handle:
-            for key, record in entries:
-                handle.write(_dump_line(key, record) + "\n")
+        atomic_write_text(
+            path,
+            "".join(_dump_line(key, record) + "\n" for key, record in entries),
+        )
         return len(entries)
 
     def _absorb(self, incoming: dict[str, dict[str, Any]]) -> int:

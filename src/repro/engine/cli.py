@@ -6,6 +6,7 @@ Subcommands::
     python -m repro.engine plan --experiment landscape --shards 4 --out plan.json
     python -m repro.engine run-shard --plan plan.json --shard 0/4 --cache-out shard0
     python -m repro.engine merge --plan plan.json --from shard0 shard1 shard2 shard3
+    python -m repro.engine fabric --plan plan.json --cache-dir cache
     python -m repro.engine status --plan plan.json
     python -m repro.engine stats --report report.json
     python -m repro.engine cache --status
@@ -34,7 +35,20 @@ experiment, ``run-shard`` executes one shard of it anywhere (a private
 ``--cache-out`` root keeps concurrent shards from contending), and
 ``merge`` unions the shard caches and rebuilds the exact report — and
 Figure 1 table — a single-host run would have produced.  Any shell
-loop, make, or batch scheduler can drive it.
+loop, make, or batch scheduler can drive it — or ``fabric`` drives all
+shards itself as supervised subprocesses, with leases, heartbeat
+liveness, retry with backoff, and graceful degradation (exit 4 plus a
+gap manifest when shards exhaust their attempts).
+
+Failure hygiene: ``run-shard``/``merge``/``fabric`` failures print one
+structured line (command, experiment, shard, cause) to stderr — never
+a bare traceback — and ``--json-errors`` switches that line to a JSON
+object for supervising processes.  Exit codes: 0 success, 2 bad
+invocation/setup, 3 runtime failure, 4 degraded fabric.  ``run-shard
+--heartbeat PATH`` publishes the :mod:`repro.obs.heartbeat` progress
+file the fabric watches, ``--inject SPEC`` arms the
+:mod:`repro.engine.faults` chaos harness, and ``status --heartbeats
+DIR`` renders the heartbeat files in a fabric work dir.
 """
 
 from __future__ import annotations
@@ -48,6 +62,13 @@ from typing import Sequence
 
 from repro.engine.cache import DEFAULT_CACHE_DIR, TrialCache
 from repro.engine.experiments import EXPERIMENTS, build_experiment, paper_placement
+from repro.engine.fabric import BackoffPolicy, run_fabric
+from repro.engine.faults import (
+    ENV_ATTEMPT,
+    ENV_FAULTS,
+    FaultInjector,
+    parse_fault_specs,
+)
 from repro.engine.pool import default_workers
 from repro.engine.runner import (
     EngineReport,
@@ -57,12 +78,15 @@ from repro.engine.runner import (
 )
 from repro.engine.shard import ShardPlan, dump_plan_file, load_plan_file
 from repro.obs import (
+    HeartbeatEmitter,
     TraceSink,
     format_telemetry,
     get_telemetry,
     merge_snapshots,
+    read_heartbeat,
 )
 from repro.runtime import registry
+from repro.util.fsio import atomic_write_text
 
 __all__ = ["main", "format_report", "format_catalog"]
 
@@ -113,6 +137,48 @@ def _detach_trace(sink: TraceSink | None) -> None:
     if sink is not None:
         get_telemetry().detach_sink()
         sink.close()
+
+
+def _emit_error(
+    args: argparse.Namespace,
+    command: str,
+    err: BaseException,
+    code: int,
+    experiment: str | None = None,
+    shard: int | None = None,
+) -> int:
+    """One structured error line to stderr; returns the exit code.
+
+    The default form is a single greppable key=value line; with
+    ``--json-errors`` it becomes one JSON object, which is what the
+    fabric launcher parses out of a failed shard's log to attribute the
+    failure.  Never a traceback on this path — ``-vv`` logs one.
+    """
+    cause = type(err).__name__
+    message = str(err) or cause
+    _LOG.debug("%s failed", command, exc_info=True)
+    if getattr(args, "json_errors", False):
+        payload: dict[str, object] = {
+            "command": command,
+            "cause": cause,
+            "message": message,
+        }
+        if experiment is not None:
+            payload["experiment"] = experiment
+        if shard is not None:
+            payload["shard"] = shard
+        payload["exit_code"] = code
+        print(json.dumps({"error": payload}, sort_keys=True), file=sys.stderr)
+    else:
+        parts = [f"command={command}"]
+        if experiment is not None:
+            parts.append(f"experiment={experiment}")
+        if shard is not None:
+            parts.append(f"shard={shard}")
+        parts.append(f"cause={cause}")
+        parts.append(f"message={message!r}")
+        print("error: " + " ".join(parts), file=sys.stderr)
+    return code
 
 
 def format_report(reports: Sequence[EngineReport]) -> str:
@@ -478,6 +544,30 @@ def _parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="stream span/event telemetry as JSONL to PATH (off by default)",
     )
+    run_shard_p.add_argument(
+        "--heartbeat",
+        default=None,
+        metavar="PATH",
+        help=(
+            "publish a progress heartbeat file (atomically replaced) that "
+            "a supervisor can watch for liveness"
+        ),
+    )
+    run_shard_p.add_argument(
+        "--inject",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "arm fault injection, e.g. 'kill@1:at=3' (repeatable; also "
+            f"read from ${ENV_FAULTS}); for chaos tests only"
+        ),
+    )
+    run_shard_p.add_argument(
+        "--json-errors",
+        action="store_true",
+        help="emit failures as one JSON object on stderr instead of a text line",
+    )
 
     merge = subparsers.add_parser(
         "merge",
@@ -525,6 +615,110 @@ def _parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="stream span/event telemetry as JSONL to PATH (off by default)",
     )
+    merge.add_argument(
+        "--json-errors",
+        action="store_true",
+        help="emit failures as one JSON object on stderr instead of a text line",
+    )
+
+    fabric = subparsers.add_parser(
+        "fabric",
+        help=(
+            "drive every shard of a plan as supervised subprocesses with "
+            "leases, heartbeat liveness, and retry/backoff"
+        ),
+    )
+    fabric.add_argument(
+        "--plan", required=True, metavar="PATH", help="plan file from `plan`"
+    )
+    fabric.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help=f"shared cache root shards read and merge into (default: {DEFAULT_CACHE_DIR})",
+    )
+    fabric.add_argument(
+        "--work-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "fabric state directory: lease board, shard roots, heartbeats, "
+            "logs (default: <plan>.fabric/)"
+        ),
+    )
+    fabric.add_argument(
+        "--shard-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes inside each shard subprocess (default: 1)",
+    )
+    fabric.add_argument(
+        "--max-parallel",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard subprocesses at once (default: half the CPUs)",
+    )
+    fabric.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help=(
+            "kill and reassign a shard whose heartbeat stops advancing for "
+            "this long (default: 30)"
+        ),
+    )
+    fabric.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.1,
+        metavar="SECONDS",
+        help="launcher supervision loop period (default: 0.1)",
+    )
+    fabric.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        metavar="N",
+        help="attempts per shard before it is marked failed (default: 3)",
+    )
+    fabric.add_argument(
+        "--backoff-base",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="first retry delay; doubles per attempt, jittered (default: 0.5)",
+    )
+    fabric.add_argument(
+        "--retry-failed",
+        action="store_true",
+        help=(
+            "on resume, reset shards a previous launcher marked failed "
+            "and try them again"
+        ),
+    )
+    fabric.add_argument(
+        "--inject",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "forward fault-injection specs to shard subprocesses, e.g. "
+            "'kill@1:at=3' (repeatable); for chaos tests only"
+        ),
+    )
+    fabric.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the fabric result (outcomes, gaps) as JSON to PATH",
+    )
+    fabric.add_argument(
+        "--json-errors",
+        action="store_true",
+        help="emit failures as one JSON object on stderr instead of a text line",
+    )
 
     status = subparsers.add_parser(
         "status", help="per-shard completion of a plan against a cache"
@@ -546,6 +740,15 @@ def _parser() -> argparse.ArgumentParser:
         help=(
             "additional (not-yet-merged) shard cache roots to count as "
             "present, e.g. the --cache-out roots of running shards"
+        ),
+    )
+    status.add_argument(
+        "--heartbeats",
+        default=None,
+        metavar="DIR",
+        help=(
+            "also render the shard heartbeat files in DIR (a fabric work "
+            "dir): phase, trial progress, emitting pid"
         ),
     )
 
@@ -710,8 +913,7 @@ def _run_specs(args, specs, cache) -> int:
         if args.json == "-":
             print(payload)
         else:
-            with open(args.json, "w", encoding="utf-8") as handle:
-                handle.write(payload + "\n")
+            atomic_write_text(args.json, payload + "\n")
     return 0
 
 
@@ -760,8 +962,9 @@ def _plan(args: argparse.Namespace) -> int:
     if args.out == "-":
         print(text)
     else:
-        with open(args.out, "w", encoding="utf-8") as handle:
-            handle.write(text + "\n")
+        # Atomic: a scheduler (or fabric launcher) watching for the plan
+        # file must never read a half-written partition.
+        atomic_write_text(args.out, text + "\n")
         print(
             f"wrote {args.out}: {args.experiment}, {len(plans)} spec(s) x "
             f"{args.shards} shard(s), {payload['trials_total']} trials"
@@ -769,32 +972,70 @@ def _plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _shard_instrumentation(args, index: int, plans: Sequence[ShardPlan]):
+    """The shard's heartbeat emitter and fault injector, from flags + env.
+
+    Fault specs come from repeated ``--inject`` flags and the
+    ``REPRO_FAULTS`` environment variable (how the fabric launcher arms
+    subprocesses); the attempt number the injector filters on is the
+    launcher-stamped ``REPRO_FABRIC_ATTEMPT``.  Both default to inert.
+    """
+    specs = []
+    for text in getattr(args, "inject", None) or []:
+        specs.extend(parse_fault_specs(text))
+    specs.extend(parse_fault_specs(os.environ.get(ENV_FAULTS)))
+    attempt = int(os.environ.get(ENV_ATTEMPT) or 1)
+    injector = FaultInjector(specs, index, attempt)
+    emitter = None
+    if getattr(args, "heartbeat", None):
+        total = sum(len(plan.manifest(index).trial_indices()) for plan in plans)
+        emitter = HeartbeatEmitter(args.heartbeat, index, total)
+    return emitter, injector
+
+
 def _run_shard(args: argparse.Namespace) -> int:
+    experiment = None
+    index = None
     try:
-        _experiment, plans = _load_plans(args.plan)
+        experiment, plans = _load_plans(args.plan)
         index = _parse_shard(args.shard, plans[0].num_shards)
         cache = TrialCache(args.cache_dir, isolation=args.cache_out)
         sink = _attach_trace(args)
     except (ValueError, OSError) as err:
-        print(f"error: {err}", file=sys.stderr)
-        return 2
+        return _emit_error(args, "run-shard", err, 2, experiment, index)
     try:
         return _run_shard_plans(args, plans, index, cache)
+    except Exception as err:
+        # The CLI boundary: a solver bug, a rejecting verifier, a full
+        # disk — one attributable line for the supervisor, not a
+        # traceback (which -vv still logs).
+        return _emit_error(args, "run-shard", err, 3, experiment, index)
     finally:
         _detach_trace(sink)
 
 
 def _run_shard_plans(args, plans, index, cache) -> int:
     show_progress = args.progress and not args.quiet
+    emitter, injector = _shard_instrumentation(args, index, plans)
+    if emitter is not None:
+        emitter.start()
     reports = []
     for plan in plans:
         manifest = plan.manifest(index)
-        on_record = None
+        progress_cb = None
         if show_progress:
-            on_record = _progress_callback(
+            progress_cb = _progress_callback(
                 f"{manifest.spec.name} [shard {index}]",
                 len(manifest.trial_indices()),
             )
+        on_record = None
+        if progress_cb is not None or emitter is not None or injector.active:
+            def on_record(record, _cb=progress_cb):
+                if _cb is not None:
+                    _cb(record)
+                if emitter is not None:
+                    emitter.record()
+                injector.on_trial()
         reports.append(
             run_shard(
                 manifest, workers=args.workers, cache=cache, on_record=on_record
@@ -803,6 +1044,11 @@ def _run_shard_plans(args, plans, index, cache) -> int:
         if show_progress:
             print(file=sys.stderr)
         print(reports[-1].summary())
+    # Corruption applies to what was actually written, after it all was;
+    # the final heartbeat still reports honest progress either way.
+    injector.on_exit([args.cache_out or args.cache_dir])
+    if emitter is not None:
+        emitter.done()
     total = sum(rep.trials_total for rep in reports)
     hits = sum(rep.cache_hits for rep in reports)
     computed = sum(rep.computed for rep in reports)
@@ -814,22 +1060,24 @@ def _run_shard_plans(args, plans, index, cache) -> int:
         f"records in {wrote}"
     )
     if args.json:
-        with open(args.json, "w", encoding="utf-8") as handle:
-            json.dump(
+        atomic_write_text(
+            args.json,
+            json.dumps(
                 {
                     "plan": args.plan,
                     "shard_index": index,
                     "reports": [rep.as_dict() for rep in reports],
                 },
-                handle,
                 indent=2,
             )
-            handle.write("\n")
+            + "\n",
+        )
     return 0
 
 
 def _merge(args: argparse.Namespace) -> int:
     sink = None
+    experiment = None
     try:
         experiment, plans = _load_plans(args.plan)
         if not args.sources and not os.path.isdir(args.cache_dir):
@@ -847,10 +1095,11 @@ def _merge(args: argparse.Namespace) -> int:
             added += cache.merge(root)
     except (ValueError, OSError) as err:
         _detach_trace(sink)
-        print(f"error: {err}", file=sys.stderr)
-        return 2
+        return _emit_error(args, "merge", err, 2, experiment)
     try:
         return _merge_replay(args, experiment, plans, cache, added)
+    except Exception as err:
+        return _emit_error(args, "merge", err, 3, experiment)
     finally:
         _detach_trace(sink)
 
@@ -899,8 +1148,7 @@ def _merge_replay(args, experiment, plans, cache, added) -> int:
         if args.json == "-":
             print(payload)
         else:
-            with open(args.json, "w", encoding="utf-8") as handle:
-                handle.write(payload + "\n")
+            atomic_write_text(args.json, payload + "\n")
     return 0
 
 
@@ -955,6 +1203,93 @@ def _status(args: argparse.Namespace) -> int:
         print(f"\n{remaining} trial(s) remaining before `merge` is all-hits")
     else:
         print("\nplan complete — `merge` will replay without computing")
+    if args.heartbeats:
+        print("\n" + _render_heartbeats(args.heartbeats))
+    return 0
+
+
+def _render_heartbeats(directory: str) -> str:
+    """A one-shot view of the heartbeat files in a fabric work dir.
+
+    Point-in-time, not liveness: staleness needs repeated observation
+    (the fabric launcher's LivenessMonitor does that); what a status
+    probe *can* report is each shard's last published phase and
+    progress, which is usually the question being asked.
+    """
+    from repro.analysis import render_table
+
+    rows = []
+    try:
+        names = sorted(os.listdir(directory))
+    except OSError:
+        names = []
+    for name in names:
+        if not name.endswith(".hb.json"):
+            continue
+        beat = read_heartbeat(os.path.join(directory, name))
+        if beat is None:
+            rows.append([name, "(unreadable)", "-", "-", "-"])
+            continue
+        rows.append(
+            [
+                beat.shard_index,
+                beat.phase,
+                f"{beat.done}/{beat.total}",
+                beat.seq,
+                beat.pid,
+            ]
+        )
+    if not rows:
+        return f"no heartbeat files under {directory}"
+    return render_table(
+        ["shard", "phase", "trials", "seq", "pid"],
+        rows,
+        title=f"heartbeats in {directory}",
+    )
+
+
+def _fabric(args: argparse.Namespace) -> int:
+    experiment = None
+    try:
+        experiment, _plans = _load_plans(args.plan)
+        faults = []
+        for text in args.inject or []:
+            faults.extend(parse_fault_specs(text))
+        backoff = BackoffPolicy(
+            base=args.backoff_base, max_attempts=args.max_attempts
+        )
+    except (ValueError, OSError) as err:
+        return _emit_error(args, "fabric", err, 2, experiment)
+    try:
+        result = run_fabric(
+            args.plan,
+            args.cache_dir,
+            work_dir=args.work_dir,
+            shard_workers=args.shard_workers,
+            max_parallel=args.max_parallel,
+            heartbeat_timeout=args.heartbeat_timeout,
+            poll_interval=args.poll_interval,
+            backoff=backoff,
+            faults=faults,
+            retry_failed=args.retry_failed,
+        )
+    except Exception as err:
+        return _emit_error(args, "fabric", err, 3, experiment)
+    if result.reports is not None:
+        print(format_report(result.reports))
+        print()
+    print(result.summary())
+    if args.json:
+        atomic_write_text(
+            args.json, json.dumps(result.as_dict(), indent=2) + "\n"
+        )
+    if not result.ok:
+        work_dir = args.work_dir or args.plan + ".fabric"
+        print(
+            f"gap manifest: {os.path.join(work_dir, 'gaps.json')}",
+            file=sys.stderr,
+        )
+        return 4
     return 0
 
 
@@ -1057,6 +1392,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_shard(args)
     if args.command == "merge":
         return _merge(args)
+    if args.command == "fabric":
+        return _fabric(args)
     if args.command == "status":
         return _status(args)
     if args.command == "stats":

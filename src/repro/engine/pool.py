@@ -20,22 +20,46 @@ serial loop with identical semantics.
 
 from __future__ import annotations
 
+import concurrent.futures
 import logging
 import multiprocessing
 import os
 import pickle
 import random
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Sequence
 
 from repro.obs import get_telemetry
 
-__all__ = ["default_workers", "run_task_batches", "run_tasks"]
+__all__ = ["WorkerCrashed", "default_workers", "run_task_batches", "run_tasks"]
 
 _LOG = logging.getLogger("repro.engine")
 
 # Derivation salt for per-worker global-RNG reseeding (mirrors
 # repro.util.rng's golden-ratio mixing).
 _WORKER_SALT = 0x9E3779B97F4A7C15
+
+
+class WorkerCrashed(RuntimeError):
+    """A pool worker process died mid-batch (signal, OOM kill, hard exit).
+
+    Distinct from a task *raising*: an exception propagates as itself,
+    while a vanished process can only be observed from the outside.
+    ``chunk_indices`` are the batch positions whose results were lost;
+    batches that completed before the crash were already streamed
+    through ``on_result`` (and are not listed), so a caller that
+    persists results as they arrive retries exactly the lost chunks.
+    """
+
+    def __init__(self, chunk_indices: Sequence[int], message: str | None = None):
+        self.chunk_indices = tuple(int(i) for i in chunk_indices)
+        super().__init__(
+            message
+            or (
+                f"a worker process died; {len(self.chunk_indices)} "
+                f"chunk(s) lost: {list(self.chunk_indices)}"
+            )
+        )
 
 
 def default_workers() -> int:
@@ -128,6 +152,28 @@ def run_tasks(
         return pool.map(fn, tasks, chunksize=_chunksize(len(tasks), workers))
 
 
+def _make_executor(workers: int, num_tasks: int, pool_seed: int):
+    """A process-pool executor, or None when the platform has none.
+
+    The executor variant of :func:`_make_pool`, used by the batch path:
+    ``concurrent.futures`` detects a worker process dying (it breaks
+    the pool and fails pending futures) where ``multiprocessing.Pool``
+    would wait forever for the vanished task's result.
+    """
+    try:
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+        )
+        return concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(workers, num_tasks),
+            mp_context=ctx,
+            initializer=_worker_init,
+            initargs=(pool_seed,),
+        )
+    except (OSError, ValueError):
+        return None
+
+
 def run_task_batches(
     fn: Callable[[Any], Any],
     batches: Sequence[Any],
@@ -138,14 +184,22 @@ def run_task_batches(
     """Apply ``fn`` to coarse batch payloads, streaming completions.
 
     The batch entry point for callers that already grouped their work
-    into chunks: each batch is exactly one pickle/IPC round-trip
-    (``chunksize=1`` — no second-level chunking on top of the caller's),
-    and results stream back through ``pool.imap`` in task order, so
-    ``on_result(index, result)`` fires as each batch completes instead
-    of after the whole map.  Order and fallback semantics match
-    :func:`run_tasks`: the returned list is in batch order at any worker
-    count, and platforms without a working pool degrade to a serial
-    loop (where ``on_result`` fires after each batch just the same).
+    into chunks: each batch is exactly one pickle/IPC round-trip (no
+    second-level chunking on top of the caller's), and results stream
+    back in ascending batch order, so ``on_result(index, result)``
+    fires as each batch completes instead of after the whole map.
+    Order and fallback semantics match :func:`run_tasks`: the returned
+    list is in batch order at any worker count, and platforms without a
+    working pool degrade to a serial loop (where ``on_result`` fires
+    after each batch just the same).
+
+    Failure semantics are typed.  A *task exception* (a verifier
+    rejecting, a solver crashing) propagates as itself, at the point
+    the failed batch would have been delivered.  A *worker process
+    dying* (SIGKILL, OOM) raises :class:`WorkerCrashed` naming exactly
+    the lost batch indices — results that finished before the crash
+    are still delivered through ``on_result`` first, in order, so
+    callers persisting as they go only ever retry the lost chunks.
     """
     batches = list(batches)
     telemetry = get_telemetry()
@@ -155,15 +209,41 @@ def run_task_batches(
     if not _parallel_viable(fn, batches[0]):
         telemetry.incr("pool.serial_fallbacks")
         return _serial_map(fn, batches, on_result)
-    pool = _make_pool(workers, len(batches), pool_seed)
-    if pool is None:
+    executor = _make_executor(workers, len(batches), pool_seed)
+    if executor is None:
         telemetry.incr("pool.serial_fallbacks")
         _LOG.debug("process pool unavailable; %d batch(es) run serially", len(batches))
         return _serial_map(fn, batches, on_result)
     out = []
-    with pool:
-        for i, result in enumerate(pool.imap(fn, batches, chunksize=1)):
-            out.append(result)
-            if on_result is not None:
-                on_result(i, result)
+    lost: list[int] = []
+    with executor:
+        futures = [executor.submit(fn, batch) for batch in batches]
+        try:
+            for i, future in enumerate(futures):
+                try:
+                    result = future.result()
+                except (BrokenProcessPool, concurrent.futures.CancelledError):
+                    # The pool broke under this future: its worker (or
+                    # a sibling whose death tore down the pool)
+                    # vanished.  Keep draining — later futures may
+                    # have completed before the break, and salvaging
+                    # them keeps the retry surface minimal.
+                    lost.append(i)
+                    continue
+                out.append(result)
+                if on_result is not None:
+                    on_result(i, result)
+        except BaseException:
+            # A task raised (or the caller's on_result did): don't
+            # compute the rest of the map just to discard it.
+            executor.shutdown(wait=False, cancel_futures=True)
+            raise
+    if lost:
+        telemetry.incr("pool.worker_crashes")
+        telemetry.incr("pool.chunks_lost", len(lost))
+        _LOG.warning(
+            "worker process died: %d/%d batch(es) lost (%s)",
+            len(lost), len(batches), lost,
+        )
+        raise WorkerCrashed(lost)
     return out

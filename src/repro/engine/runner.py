@@ -592,6 +592,13 @@ def run_shard(
                 got[i] = record
                 if on_record is not None:
                     on_record(record)
+            # Store per chunk, not after the whole dispatch: a shard
+            # killed mid-run (or a WorkerCrashed escaping below) keeps
+            # every completed chunk durable, so a retry recomputes only
+            # the chunks that were actually lost.
+            if cache is not None:
+                with telemetry.span("shard.store"):
+                    cache.put_many((trials[i].key(), got[i]) for i in chunk)
 
         run_task_batches(
             _execute_batch_payload,
@@ -600,11 +607,6 @@ def run_shard(
             pool_seed=zlib.crc32(spec.name.encode()),
             on_result=deliver,
         )
-        if cache is not None:
-            with telemetry.span("shard.store"):
-                cache.put_many(
-                    (trials[i].key(), got[i]) for i in sorted(missing)
-                )
     # The store-phase delta (plus pool dispatch accounting).
     snapshots.append(telemetry.snapshot(reset=True))
 

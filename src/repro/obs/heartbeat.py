@@ -1,0 +1,260 @@
+"""Shard heartbeats: progress payloads on disk, liveness decided upstream.
+
+A shard run periodically publishes a :class:`Heartbeat` — a small JSON
+file replaced atomically on every write — carrying a monotonically
+increasing ``seq``, trial progress, and (optionally) a cumulative
+telemetry snapshot of the emitting process.  The file is the whole
+protocol: any observer that can read it (the fabric launcher, ``status
+--heartbeats``, a human with ``cat``) can judge the shard's health, and
+a shard that dies or hangs simply stops replacing it.
+
+Liveness is **observer-side** by design: the emitter writes only when
+it makes progress (a trial completed, a phase changed), never from a
+background keep-alive thread — a wedged main loop must not look
+healthy because a timer thread still runs.  The
+:class:`LivenessMonitor` therefore tracks *when each key's ``seq`` last
+changed* on the observer's own monotonic clock, which also sidesteps
+clock skew between hosts: staleness compares two local readings, never
+an emitter timestamp.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.util.fsio import atomic_write_text
+
+__all__ = [
+    "HEARTBEAT_VERSION",
+    "Heartbeat",
+    "HeartbeatEmitter",
+    "LivenessMonitor",
+    "format_liveness",
+    "read_heartbeat",
+    "write_heartbeat",
+]
+
+# Bump when the payload layout changes; readers treat a foreign version
+# as "no heartbeat" rather than misjudging liveness from stale fields.
+HEARTBEAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """One progress beat: sequence number, phase, and trial counts."""
+
+    seq: int
+    shard_index: int
+    pid: int
+    #: "start" (process up, nothing run), "record" (mid-run), "done".
+    phase: str
+    done: int
+    total: int
+    #: Optional cumulative telemetry snapshot of the emitting process —
+    #: a *view* for dashboards, never merged into reports (report
+    #: telemetry travels via the delta-snapshot pipeline).
+    telemetry: dict[str, Any] | None = None
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "v": HEARTBEAT_VERSION,
+            "seq": self.seq,
+            "shard_index": self.shard_index,
+            "pid": self.pid,
+            "phase": self.phase,
+            "done": self.done,
+            "total": self.total,
+            "telemetry": self.telemetry,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "Heartbeat":
+        return cls(
+            seq=int(payload["seq"]),
+            shard_index=int(payload["shard_index"]),
+            pid=int(payload["pid"]),
+            phase=str(payload["phase"]),
+            done=int(payload["done"]),
+            total=int(payload["total"]),
+            telemetry=payload.get("telemetry"),
+        )
+
+
+def write_heartbeat(path: str, heartbeat: Heartbeat) -> None:
+    """Atomically replace ``path`` with one heartbeat payload."""
+    atomic_write_text(path, json.dumps(heartbeat.as_dict(), sort_keys=True))
+
+
+def read_heartbeat(path: str) -> Heartbeat | None:
+    """The current heartbeat at ``path``, or None.
+
+    Missing files, unreadable JSON, and foreign versions all read as
+    "no heartbeat" — the observer's timeout handles them uniformly, and
+    atomic writes mean a torn payload can only come from a foreign
+    writer anyway.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None
+    if not isinstance(payload, dict) or payload.get("v") != HEARTBEAT_VERSION:
+        return None
+    try:
+        return Heartbeat.from_dict(payload)
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+class HeartbeatEmitter:
+    """Publish progress beats for one shard run, throttled.
+
+    ``record()`` is wired into the runner's ``on_record`` stream; with
+    millisecond trials that would mean thousands of file replacements,
+    so beats are coalesced to at most one write per ``min_interval``
+    seconds.  Phase transitions (``start()``/``done()``) always write —
+    the observer must see the process come up before the first trial
+    lands, and the final beat must report the true total.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        shard_index: int,
+        total: int,
+        min_interval: float = 0.2,
+        with_telemetry: bool = True,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.path = path
+        self.shard_index = shard_index
+        self.total = total
+        self.min_interval = min_interval
+        self.with_telemetry = with_telemetry
+        self._clock = clock
+        self._seq = 0
+        self._done = 0
+        self._phase = "start"
+        self._last_write = float("-inf")
+
+    def start(self) -> None:
+        self._phase = "start"
+        self._write(force=True)
+
+    def record(self) -> None:
+        """One trial completed; write unless inside the throttle window."""
+        self._done += 1
+        self._phase = "record"
+        self._write(force=False)
+
+    def done(self) -> None:
+        self._phase = "done"
+        self._write(force=True)
+
+    def _write(self, force: bool) -> None:
+        now = self._clock()
+        if not force and now - self._last_write < self.min_interval:
+            return
+        self._last_write = now
+        self._seq += 1
+        telemetry = None
+        if self.with_telemetry:
+            from repro.obs.telemetry import get_telemetry
+
+            # A cumulative (non-reset) snapshot under a fixed origin:
+            # draining here would steal deltas from the shard report.
+            telemetry = get_telemetry().snapshot(origin="heartbeat")
+        write_heartbeat(
+            self.path,
+            Heartbeat(
+                seq=self._seq,
+                shard_index=self.shard_index,
+                pid=os.getpid(),
+                phase=self._phase,
+                done=self._done,
+                total=self.total,
+                telemetry=telemetry,
+            ),
+        )
+
+
+class LivenessMonitor:
+    """Observer-side staleness tracking over heartbeat files.
+
+    One monitor watches many keys (one per running shard).  ``observe``
+    re-reads a key's file and records *on the monitor's clock* when its
+    ``seq`` last advanced; ``stale`` then answers "has this key gone
+    ``timeout`` seconds without progress?".  Keys start their clock at
+    ``watch`` time, so a process that never writes its first beat times
+    out too.
+    """
+
+    def __init__(self, timeout: float, clock: Callable[[], float] = time.monotonic):
+        if timeout <= 0:
+            raise ValueError(f"liveness timeout must be positive, got {timeout}")
+        self.timeout = timeout
+        self._clock = clock
+        # key -> (path, last seq seen or None, clock reading at last change)
+        self._watched: dict[Any, tuple[str, int | None, float]] = {}
+        self._beats: dict[Any, Heartbeat | None] = {}
+
+    def watch(self, key: Any, path: str) -> None:
+        self._watched[key] = (path, None, self._clock())
+        self._beats[key] = None
+
+    def forget(self, key: Any) -> None:
+        self._watched.pop(key, None)
+        self._beats.pop(key, None)
+
+    def observe(self, key: Any) -> Heartbeat | None:
+        """Re-read one key's heartbeat; returns the latest payload."""
+        path, last_seq, changed_at = self._watched[key]
+        beat = read_heartbeat(path)
+        self._beats[key] = beat
+        if beat is not None and beat.seq != last_seq:
+            self._watched[key] = (path, beat.seq, self._clock())
+        return beat
+
+    def age(self, key: Any) -> float:
+        """Seconds (on the monitor's clock) since ``key`` last progressed."""
+        _path, _seq, changed_at = self._watched[key]
+        return self._clock() - changed_at
+
+    def stale(self, key: Any) -> bool:
+        return self.age(key) > self.timeout
+
+    def last_beat(self, key: Any) -> Heartbeat | None:
+        return self._beats.get(key)
+
+    def entries(self) -> list[tuple[Any, Heartbeat | None, float, bool]]:
+        """(key, last beat, age, stale) rows for every watched key."""
+        return [
+            (key, self._beats.get(key), self.age(key), self.stale(key))
+            for key in self._watched
+        ]
+
+
+def format_liveness(monitor: LivenessMonitor) -> str:
+    """Render a monitor's view as the shard liveness table."""
+    from repro.analysis import render_table
+
+    rows = []
+    for key, beat, age, stale in sorted(
+        monitor.entries(), key=lambda entry: str(entry[0])
+    ):
+        if beat is None:
+            phase, progress = "(no heartbeat)", "-"
+        else:
+            phase = beat.phase
+            progress = f"{beat.done}/{beat.total}"
+        state = "STALE" if stale else "live"
+        rows.append([key, phase, progress, f"{age:.1f}s", state])
+    return render_table(
+        ["shard", "phase", "trials", "since progress", "state"],
+        rows,
+        title=f"heartbeat liveness (timeout {monitor.timeout:.1f}s)",
+    )

@@ -1,5 +1,6 @@
-"""Small shared utilities: integer log helpers and seeded randomness."""
+"""Small shared utilities: log helpers, seeded randomness, safe file IO."""
 
+from repro.util.fsio import atomic_write_text
 from repro.util.logmath import (
     ceil_log2,
     floor_log2,
@@ -9,6 +10,7 @@ from repro.util.logmath import (
 from repro.util.rng import NodeRng, fork_rng
 
 __all__ = [
+    "atomic_write_text",
     "ceil_log2",
     "floor_log2",
     "iterated_log",
