@@ -1,5 +1,29 @@
-"""Legacy shim so editable installs work without the ``wheel`` package."""
+"""Packaging shim (kept as setup.py so editable installs work without
+the ``wheel`` package).
 
-from setuptools import setup
+The library itself is stdlib-only.  ``pip install -e .[fast]`` pulls in
+numpy and unlocks :mod:`repro.kernels`' vectorized layer; without it
+every kernel degrades to the pure-python object layer with identical
+results (see the "Vectorized kernels" section of the README).
+"""
 
-setup()
+from setuptools import find_packages, setup
+
+setup(
+    name="repro-podc-balliu",
+    version="0.8.0",
+    description=(
+        "Reproduction of the PODC'20 LCL complexity-landscape paper: "
+        "instances, solvers, verifier, and the sharded experiment engine"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=[],
+    extras_require={
+        # Vectorized kernels over the CSR core.  Optional: the object
+        # layer is the always-available oracle; `kernels=auto` only
+        # selects the vector backend when numpy imports.
+        "fast": ["numpy>=1.22"],
+    },
+)

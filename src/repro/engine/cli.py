@@ -389,6 +389,16 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
         help="render per-trial progress on stderr as chunks complete",
     )
     parser.add_argument(
+        "--kernels",
+        choices=("auto", "vector", "object"),
+        default="auto",
+        help=(
+            "kernel backend: 'vector' forces the numpy layer, 'object' the "
+            "pure-python oracle, 'auto' (default) picks vector on large "
+            "instances when numpy is importable"
+        ),
+    )
+    parser.add_argument(
         "--cache-dir",
         default=DEFAULT_CACHE_DIR,
         help=f"trial cache directory (default: {DEFAULT_CACHE_DIR})",
@@ -533,6 +543,15 @@ def _parser() -> argparse.ArgumentParser:
         help="render per-trial progress on stderr as chunks complete",
     )
     run_shard_p.add_argument(
+        "--kernels",
+        choices=("auto", "vector", "object"),
+        default="auto",
+        help=(
+            "kernel backend: 'vector' forces the numpy layer, 'object' the "
+            "pure-python oracle, 'auto' (default) picks per instance"
+        ),
+    )
+    run_shard_p.add_argument(
         "--json",
         default=None,
         metavar="PATH",
@@ -602,6 +621,12 @@ def _parser() -> argparse.ArgumentParser:
         type=int,
         default=default_workers(),
         help="workers for any remainder trials the shards did not cover",
+    )
+    merge.add_argument(
+        "--kernels",
+        choices=("auto", "vector", "object"),
+        default="auto",
+        help="kernel backend for any remainder trials computed during merge",
     )
     merge.add_argument(
         "--json",
@@ -872,6 +897,7 @@ def _run_specs(args, specs, cache) -> int:
                 cache=cache,
                 batch_size=args.batch_size,
                 on_record=on_record,
+                kernels=args.kernels,
             )
         )
         if show_progress:
@@ -1038,7 +1064,11 @@ def _run_shard_plans(args, plans, index, cache) -> int:
                 injector.on_trial()
         reports.append(
             run_shard(
-                manifest, workers=args.workers, cache=cache, on_record=on_record
+                manifest,
+                workers=args.workers,
+                cache=cache,
+                on_record=on_record,
+                kernels=args.kernels,
             )
         )
         if show_progress:
@@ -1121,6 +1151,7 @@ def _merge_replay(args, experiment, plans, cache, added) -> int:
             workers=args.workers,
             cache=cache,
             batch_size=plan.batch_size,
+            kernels=args.kernels,
         )
         for plan in plans
     ]

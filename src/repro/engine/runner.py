@@ -37,6 +37,7 @@ since arbitrary callables have no content hash.
 from __future__ import annotations
 
 import logging
+import os
 import queue
 import threading
 import time
@@ -45,6 +46,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Sequence
 
+from repro import kernels as kernel_layer
 from repro.analysis.sweep import Sweep, SweepPoint
 from repro.engine.cache import TrialCache
 from repro.engine.pool import run_task_batches
@@ -102,6 +104,10 @@ class EngineReport:
     #: Merged telemetry snapshot (see :mod:`repro.obs`); None when the
     #: producing run had telemetry disabled.
     telemetry: dict[str, Any] | None = None
+    #: The kernels mode the run was dispatched with ("mixed" when
+    #: merged shards disagree) — records are backend-independent, but
+    #: mixed-backend merges should be auditable.
+    kernels: str = "auto"
 
     def summary(self) -> str:
         dispatch = ""
@@ -127,6 +133,7 @@ class EngineReport:
             "computed": self.computed,
             "batches": self.batches,
             "batch_size": self.batch_size,
+            "kernels": self.kernels,
             "elapsed_s": round(self.elapsed, 4),
             "cpu_elapsed_s": round(self.cpu_elapsed, 4),
             "telemetry": self.telemetry,
@@ -251,19 +258,24 @@ def _prepared_checker(verifier_ref: str, core_key, instance):
     return prepared
 
 
-def execute_trial_batch(trials: Sequence[TrialSpec]) -> list[dict[str, Any]]:
+def execute_trial_batch(
+    trials: Sequence[TrialSpec], kernels: str = "auto"
+) -> list[dict[str, Any]]:
     """Run a chunk of same-spec trials with shared per-batch setup.
 
     All trials must share their solver/generator/verifier references
     (they come from one spec).  Per-trial records are exactly what
     :func:`execute_trial` produces, including the verifier raising
     ``AssertionError`` on a rejected output — only the setup work is
-    amortized, never the per-trial solve or check.
+    amortized, never the per-trial solve or check.  ``kernels`` travels
+    in the chunk payload, NOT in the trial specs: records are
+    backend-independent, so the cache key must not split on it.
     """
     from repro.runtime.driver import dispatch_solver
 
     if not trials:
         return []
+    kernel_layer.ensure_mode(kernels)
     head = trials[0]
     for trial in trials:
         if (trial.solver, trial.generator, trial.verifier) != (
@@ -288,23 +300,28 @@ def execute_trial_batch(trials: Sequence[TrialSpec]) -> list[dict[str, Any]]:
             else:
                 instance = generator(trial.n, trial.seed, **dict(trial.params))
                 core_key = None
-        with telemetry.span("trial.solve"):
-            result = dispatch_solver(solver_factory(), instance)
-        if head.verifier:
-            with telemetry.span("trial.verify"):
-                prepared = (
-                    _prepared_checker(head.verifier, core_key, instance)
-                    if core_key is not None
-                    else None
-                )
-                if prepared is not None:
-                    verdict = prepared.verify(result.outputs)
-                    assert verdict.ok, (
-                        f"{prepared.problem.name}: {verdict.summary()}"
+        backend = kernel_layer.select_backend(kernels, instance.graph)
+        telemetry.incr(f"kernels.{backend}_trials")
+        with kernel_layer.active(backend):
+            with telemetry.span("trial.solve"):
+                result = dispatch_solver(solver_factory(), instance)
+            if head.verifier:
+                with telemetry.span("trial.verify"):
+                    prepared = (
+                        _prepared_checker(head.verifier, core_key, instance)
+                        if core_key is not None
+                        else None
                     )
-                else:
-                    assert checker is not None
-                    checker(instance, result)
+                    if prepared is not None:
+                        verdict = kernel_layer.prepared_verify(
+                            prepared, result.outputs
+                        )
+                        assert verdict.ok, (
+                            f"{prepared.problem.name}: {verdict.summary()}"
+                        )
+                    else:
+                        assert checker is not None
+                        checker(instance, result)
         telemetry.incr("trials.executed")
         records.append(
             {
@@ -327,9 +344,22 @@ def _execute_batch_payload(payload: dict[str, Any]) -> dict[str, Any]:
     accrued since its previous snapshot, so serial fallback (where
     "worker" and parent are the same process) partitions the exact same
     totals across the same chunk boundaries.
+
+    A ``core`` entry, when present, names a shared-memory segment
+    holding the chunk's frozen topology: the worker maps it (zero-copy,
+    memoized per process) and seeds its instance cache, so dressing the
+    chunk's trials touches the same physical bytes the parent exported
+    instead of rebuilding — or unpickling — its own copy.
     """
+    core = payload.get("core")
+    if core is not None:
+        from repro.kernels import shm as shm_cores
+
+        graph = shm_cores.attach_graph(core["handle"])
+        _worker_instances().adopt((core["family"], core["n"]), graph)
     records = execute_trial_batch(
-        [TrialSpec.from_payload(entry) for entry in payload["trials"]]
+        [TrialSpec.from_payload(entry) for entry in payload["trials"]],
+        kernels=payload.get("kernels", "auto"),
     )
     return {
         "records": records,
@@ -462,6 +492,8 @@ class ShardReport:
     #: piggybacked delta per dispatched chunk); None with telemetry
     #: disabled.  Merges into the EngineReport exactly like records do.
     telemetry: dict[str, Any] | None = field(default=None)
+    #: The kernels mode this shard was dispatched with.
+    kernels: str = "auto"
 
     def summary(self) -> str:
         dispatch = ""
@@ -488,6 +520,7 @@ class ShardReport:
             "batches": self.batches,
             "batch_size": self.batch_size,
             "telemetry": self.telemetry,
+            "kernels": self.kernels,
         }
 
     @classmethod
@@ -503,7 +536,69 @@ class ShardReport:
             batches=payload["batches"],
             batch_size=payload["batch_size"],
             telemetry=payload.get("telemetry"),
+            kernels=payload.get("kernels", "auto"),
         )
+
+
+# Cores below this many int64 words are not worth a shared segment:
+# the pickle they replace is already smaller than a page or two, and
+# segment setup/attach has a fixed syscall cost.  Override with the
+# REPRO_SHM_CORES env var ("1" forces export even for small cores and
+# serial runs, "0" disables export entirely).
+_SHM_MIN_WORDS = 4096
+
+
+def _shm_cores_enabled(workers: int) -> bool:
+    env = os.environ.get("REPRO_SHM_CORES")
+    if env is not None:
+        return env.strip().lower() not in ("", "0", "false", "no", "off")
+    return workers > 1
+
+
+def _export_shared_cores(
+    trials: Sequence[TrialSpec],
+    chunks: Sequence[Sequence[int]],
+    workers: int,
+) -> dict[tuple[str, int], Any]:
+    """Export each chunk's frozen core into shared memory, when worth it.
+
+    Returns ``(family, n) -> CoreHandle`` for the cores that were
+    exported (the caller owns them and must release in a ``finally``).
+    Eligible chunks: a registered topology-reusable family, no extra
+    params, a bare ``PortGraph`` core, and at least ``_SHM_MIN_WORDS``
+    table words (env-overridable).  Anything else simply ships no
+    handle and the workers build their own cores as before.
+    """
+    handles: dict[tuple[str, int], Any] = {}
+    if not chunks or not _shm_cores_enabled(workers):
+        return handles
+    try:
+        family_info = _registry_family(trials[chunks[0][0]].generator)
+    except Exception:
+        return handles
+    if family_info is None or not family_info.reusable_topology:
+        return handles
+    from repro.kernels import shm as shm_cores
+    from repro.local.graphs import PortGraph
+
+    forced = os.environ.get("REPRO_SHM_CORES") is not None
+    skipped: set[tuple[str, int]] = set()
+    instances = _worker_instances()
+    for chunk in chunks:
+        head = trials[chunk[0]]
+        if head.params:
+            continue
+        key = (family_info.name, head.n)
+        if key in handles or key in skipped:
+            continue
+        core = instances.core(family_info, head.n)
+        if not isinstance(core, PortGraph) or (
+            shm_cores.core_words(core) < _SHM_MIN_WORDS and not forced
+        ):
+            skipped.add(key)
+            continue
+        handles[key] = shm_cores.export_graph(core)
+    return handles
 
 
 def run_shard(
@@ -511,6 +606,7 @@ def run_shard(
     workers: int = 1,
     cache: TrialCache | None = None,
     on_record: Callable[[dict[str, Any]], None] | None = None,
+    kernels: str = "auto",
 ) -> ShardReport:
     """Execute one shard of a plan: this shard's chunks, nothing else.
 
@@ -530,7 +626,16 @@ def run_shard(
     previous snapshot, so telemetry recorded between two ``run_shard``
     calls in one process is attributed to the later shard's report —
     every increment lands in exactly one report, at any worker count.
+
+    ``kernels`` rides in each dispatched chunk's payload (records stay
+    bit-identical across backends, so cache keys ignore it).  For
+    parallel runs over topology-reusable families, big frozen cores are
+    additionally exported into ``multiprocessing.shared_memory`` and
+    shipped as ``(segment, n, m)`` handles — every worker on the host
+    maps the same table bytes; the segments are released when the
+    dispatch ends.
     """
+    kernel_layer.ensure_mode(kernels)
     telemetry = get_telemetry()
     snapshots: list[dict[str, Any]] = []
     start = time.perf_counter()
@@ -572,11 +677,24 @@ def run_shard(
         i for chunk in manifest.chunks for i in chunk if i in missing
     ]
     chunks = _chunk_missing(trials, missing_in_order, manifest.batch_size)
+    exported = _export_shared_cores(trials, chunks, workers)
     if chunks:
-        payloads = [
-            {"trials": [trials[i].to_payload() for i in chunk]}
-            for chunk in chunks
-        ]
+        payloads = []
+        for chunk in chunks:
+            head = trials[chunk[0]]
+            payload: dict[str, Any] = {
+                "trials": [trials[i].to_payload() for i in chunk],
+                "kernels": kernels,
+            }
+            for (family, core_n), handle in exported.items():
+                if core_n == head.n and not head.params:
+                    payload["core"] = {
+                        "family": family,
+                        "n": core_n,
+                        "handle": list(handle),
+                    }
+                    break
+            payloads.append(payload)
 
         def deliver(chunk_pos: int, result: dict[str, Any]) -> None:
             chunk = chunks[chunk_pos]
@@ -600,13 +718,22 @@ def run_shard(
                 with telemetry.span("shard.store"):
                     cache.put_many((trials[i].key(), got[i]) for i in chunk)
 
-        run_task_batches(
-            _execute_batch_payload,
-            payloads,
-            workers=workers,
-            pool_seed=zlib.crc32(spec.name.encode()),
-            on_result=deliver,
-        )
+        try:
+            run_task_batches(
+                _execute_batch_payload,
+                payloads,
+                workers=workers,
+                pool_seed=zlib.crc32(spec.name.encode()),
+                on_result=deliver,
+            )
+        finally:
+            # The exporter owns the segments; workers only ever attach.
+            # Releasing here (close + unlink) bounds segment lifetime to
+            # the dispatch, even when a worker crash propagates out.
+            from repro.kernels import shm as shm_cores
+
+            for handle in exported.values():
+                shm_cores.release_core(handle)
     # The store-phase delta (plus pool dispatch accounting).
     snapshots.append(telemetry.snapshot(reset=True))
 
@@ -621,6 +748,7 @@ def run_shard(
         batches=len(chunks),
         batch_size=manifest.batch_size,
         telemetry=merge_snapshots(snapshots) if telemetry.enabled else None,
+        kernels=kernels,
     )
     _LOG.info("%s", report.summary())
     return report
@@ -678,6 +806,7 @@ def merge_shard_reports(reports: Sequence[ShardReport]) -> EngineReport:
         points=aggregate_points(spec.ns, spec.seeds, records),
     )
     shard_telemetry = [report.telemetry for report in reports]
+    shard_kernels = {report.kernels for report in reports}
     return EngineReport(
         spec=spec,
         sweep=sweep,
@@ -697,6 +826,9 @@ def merge_shard_reports(reports: Sequence[ShardReport]) -> EngineReport:
             if any(shard_telemetry)
             else None
         ),
+        kernels=(
+            shard_kernels.pop() if len(shard_kernels) == 1 else "mixed"
+        ),
     )
 
 
@@ -706,6 +838,7 @@ def run_experiment(
     cache: TrialCache | None = None,
     batch_size: int | None = None,
     on_record: Callable[[dict[str, Any]], None] | None = None,
+    kernels: str = "auto",
 ) -> EngineReport:
     """Run (or replay) one experiment spec and aggregate its sweep.
 
@@ -735,7 +868,11 @@ def run_experiment(
         spec, num_shards=1, batch_size=batch_size, workers=workers
     )
     shard = run_shard(
-        plan.manifest(0), workers=workers, cache=cache, on_record=on_record
+        plan.manifest(0),
+        workers=workers,
+        cache=cache,
+        on_record=on_record,
+        kernels=kernels,
     )
     report = merge_shard_reports([shard])
     # Whole-call elapsed, like the pre-shard runner: the warm-cache

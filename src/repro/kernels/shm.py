@@ -1,0 +1,213 @@
+"""Zero-copy topology cores over ``multiprocessing.shared_memory``.
+
+Stdlib-only (deliberately importable without numpy): a frozen
+:class:`~repro.local.graphs.PortGraph` core is four int64 CSR tables,
+so one shared segment of ``(n+1) + 3 * 2m`` words lets every worker on
+the host map the *same* physical bytes instead of unpickling a private
+copy per process.  The engine ships a :class:`CoreHandle` — a segment
+name and two integers — in the task payload; workers attach and adopt
+the mapped tables through :meth:`PortGraph.from_csr`, which defers the
+object layer until something actually asks for ``Edge`` objects.
+
+Lifecycle rules (see also the README section on vectorized kernels):
+
+* The **exporter** (the parent running ``run_shard``) owns the segment:
+  it must call :func:`release_core` when the shard's batches are done,
+  which both closes its mapping and unlinks the name.  Segments are not
+  garbage-collected on our behalf — a crashed parent can leak
+  ``/dev/shm/repro-core-*`` entries, removable with ``rm``.
+* **Attachers** only close; they never unlink.  Attached segments are
+  memoized per process (workers are long-lived across a shard's
+  batches), and each attach unregisters itself from the stdlib
+  resource tracker, which would otherwise unlink segments it never
+  owned when the worker exits (Python registers attachments
+  unconditionally).
+* In-process consumers (serial fallback, fork start-method children)
+  short-circuit through :data:`_EXPORTED` and reuse the exporter's own
+  graph object — zero mappings, zero copies.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+from multiprocessing import shared_memory
+from typing import Any, NamedTuple
+
+from repro.local.graphs import PortGraph
+from repro.obs.telemetry import get_telemetry
+
+__all__ = [
+    "CoreHandle",
+    "attach_graph",
+    "attached_core_words",
+    "export_graph",
+    "release_core",
+]
+
+_WORD = 8  # bytes per int64 table entry
+
+#: Per-process suffix source for exported segment names.
+_SEGMENT_SEQ = itertools.count()
+
+
+class CoreHandle(NamedTuple):
+    """Everything a worker needs to map an exported core: ~tens of
+    bytes on the wire versus the full pickled topology."""
+
+    segment: str
+    num_nodes: int
+    num_edges: int
+
+    @property
+    def words(self) -> int:
+        return (self.num_nodes + 1) + 6 * self.num_edges
+
+
+#: Cores this process exported: segment name -> (graph, SharedMemory).
+#: Lets same-process consumers (serial fallback) and fork children
+#: adopt the exporter's graph object directly, and keeps the segment
+#: alive until :func:`release_core`.
+_EXPORTED: dict[str, tuple[PortGraph, shared_memory.SharedMemory]] = {}
+
+#: Cores this process attached: segment name -> (graph, SharedMemory).
+#: Memoized so a worker re-adopts the *same* graph object across the
+#: batches of a shard — identity stability is what lets the prepared-
+#: verifier cache's ``entry.graph is instance.graph`` staleness rule
+#: keep hitting.
+_ATTACHED: dict[str, tuple[PortGraph, shared_memory.SharedMemory]] = {}
+
+
+@atexit.register
+def _close_attached_at_exit() -> None:
+    # Attached graphs hold live views over the mapped buffer for the
+    # whole worker lifetime, so ``SharedMemory.close()`` at interpreter
+    # shutdown raises BufferError ("exported pointers exist") from
+    # ``__del__`` as an ignored-exception traceback.  Try the polite
+    # close; where views are still alive, disarm the finalizer instead
+    # — process exit unmaps and closes everything anyway.
+    for _, shm in _ATTACHED.values():
+        try:
+            shm.close()
+        except BufferError:
+            shm._buf = None
+            shm._mmap = None
+            shm._fd = -1
+    _ATTACHED.clear()
+
+
+def core_words(graph: Any) -> int:
+    """Segment size, in int64 words, of this graph's core."""
+    return (graph.num_nodes + 1) + 6 * graph.num_edges
+
+
+def export_graph(graph: PortGraph) -> CoreHandle:
+    """Copy the graph's CSR tables into a fresh shared segment.
+
+    The one-time copy is the exporter's price; every attacher after
+    that maps the same bytes.  Layout: ``off | nbr | peer | eids``,
+    all int64.
+    """
+    off, nbr, peer, eids = graph.csr()
+    n, m = graph.num_nodes, graph.num_edges
+    words = core_words(graph)
+    # Recognizable names so a leaked segment (crashed exporter) is
+    # attributable: `ls /dev/shm/repro-core-*`.  The pid + counter pair
+    # is unique per process; collisions with a previous crashed run of
+    # the same pid are skipped over.
+    while True:
+        name = f"repro-core-{os.getpid()}-{next(_SEGMENT_SEQ)}"
+        try:
+            shm = shared_memory.SharedMemory(
+                name=name, create=True, size=max(words * _WORD, 1)
+            )
+            break
+        except FileExistsError:
+            continue
+    try:
+        view = shm.buf.cast("q")
+        try:
+            pos = 0
+            for table, length in ((off, n + 1), (nbr, 2 * m), (peer, 2 * m), (eids, 2 * m)):
+                view[pos : pos + length] = table[:]
+                pos += length
+        finally:
+            # Cast views must be released before the buffer can ever be
+            # closed; holding one would raise BufferError at close time.
+            view.release()
+    except Exception:
+        shm.close()
+        shm.unlink()
+        raise
+    _EXPORTED[shm.name] = (graph, shm)
+    get_telemetry().incr("shm.cores_exported")
+    return CoreHandle(shm.name, n, m)
+
+
+def attach_graph(handle: CoreHandle | tuple) -> PortGraph:
+    """The PortGraph backed by an exported core.
+
+    In the exporting process (and in fork children, which inherit
+    ``_EXPORTED`` copy-on-write) this is the exporter's graph object
+    itself.  Elsewhere it maps the segment and adopts the tables
+    zero-copy; repeated attaches of the same segment return the same
+    graph object.
+    """
+    handle = CoreHandle(*handle)
+    local = _EXPORTED.get(handle.segment)
+    if local is not None:
+        return local[0]
+    cached = _ATTACHED.get(handle.segment)
+    if cached is not None:
+        return cached[0]
+    shm = shared_memory.SharedMemory(name=handle.segment)
+    try:
+        # Python 3.8+ registers every attachment with the resource
+        # tracker, which unlinks segments at worker exit even though
+        # the parent still owns them.  Attachers must opt out.
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+    n, m = handle.num_nodes, handle.num_edges
+    base = memoryview(shm.buf)
+    bounds = [0, n + 1, n + 1 + 2 * m, n + 1 + 4 * m, n + 1 + 6 * m]
+    tables = [
+        base[bounds[i] * _WORD : bounds[i + 1] * _WORD].cast("q")
+        for i in range(4)
+    ]
+    graph = PortGraph.from_csr(n, m, *tables)
+    _ATTACHED[handle.segment] = (graph, shm)
+    get_telemetry().incr("shm.cores_attached")
+    return graph
+
+
+def attached_core_words() -> int:
+    """Total words currently mapped from foreign segments (stats aid)."""
+    total = 0
+    for graph, _ in _ATTACHED.values():
+        total += core_words(graph)
+    return total
+
+
+def release_core(handle: CoreHandle | tuple) -> None:
+    """Exporter-side teardown: close the mapping and unlink the name.
+
+    Idempotent; safe to call from a ``finally`` even if export failed
+    halfway.  Only the exporting process should call this.
+    """
+    handle = CoreHandle(*handle)
+    entry = _EXPORTED.pop(handle.segment, None)
+    if entry is None:
+        return
+    _, shm = entry
+    try:
+        shm.close()
+    except Exception:
+        pass
+    try:
+        shm.unlink()
+    except Exception:
+        pass

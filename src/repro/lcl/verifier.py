@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import kernels
 from repro.lcl.assignment import Labeling
 from repro.lcl.problem import EdgeConfiguration, NeLCL, NodeConfiguration
 from repro.local.graphs import PortGraph
@@ -304,6 +305,17 @@ def verify(
     skip the second evaluation.  ``max_violations`` caps every pass,
     including the domain passes.
     """
+    if (
+        max_violations is None
+        and not check_input_domain
+        and kernels.vector_enabled()
+    ):
+        # Default-option verification has a vectorized twin that checks
+        # each *distinct* configuration once; the verdict is identical,
+        # violations included.
+        from repro.kernels.verifier import vector_verify
+
+        return vector_verify(problem, graph, inputs, outputs)
     violations: list[Violation] = []
 
     def full() -> bool:

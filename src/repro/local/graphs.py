@@ -38,9 +38,24 @@ parallel edges behave identically through either.
 from __future__ import annotations
 
 import warnings
+from array import array
 from typing import Iterator, NamedTuple, Sequence
 
 __all__ = ["HalfEdge", "Edge", "PortGraph"]
+
+# CSR tables are stored as signed 64-bit typed arrays ("q") and exposed
+# as read-only memoryviews: the buffer protocol makes them zero-copy
+# consumable by numpy kernels and shared-memory exports, and the
+# read-only view makes the "must not be mutated" contract enforceable.
+_CSR_TYPECODE = "q"
+
+
+def _readonly_q(buf) -> memoryview:
+    """A read-only int64 memoryview over any buffer-protocol object."""
+    view = memoryview(buf)
+    if view.format != _CSR_TYPECODE:
+        view = view.cast(_CSR_TYPECODE)
+    return view.toreadonly()
 
 
 class HalfEdge(NamedTuple):
@@ -103,6 +118,7 @@ class PortGraph:
 
     __slots__ = (
         "_num_nodes",
+        "_num_edges",
         "_edges",
         "_adj",
         "_frozen",
@@ -176,15 +192,116 @@ class PortGraph:
             peer[j] = a_port
             eids[j] = eid
         self._deg = deg
-        self._off = off
-        self._nbr = nbr
-        self._peer = peer
-        self._eids = eids
+        self._num_edges = len(self._edges)
+        self._off = _readonly_q(array(_CSR_TYPECODE, off))
+        self._nbr = _readonly_q(array(_CSR_TYPECODE, nbr))
+        self._peer = _readonly_q(array(_CSR_TYPECODE, peer))
+        self._eids = _readonly_q(array(_CSR_TYPECODE, eids))
         self._min_degree = _DeprecatedCallableInt(min(deg, default=0))
         self._max_degree = max(deg, default=0)
         self._frozen = True
 
     # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def from_csr(
+        cls,
+        num_nodes: int,
+        num_edges: int,
+        off,
+        nbr,
+        peer,
+        eids,
+    ) -> "PortGraph":
+        """Adopt already-frozen CSR tables without rebuilding them.
+
+        The tables may be any buffer-protocol objects holding int64
+        values — typed arrays, numpy arrays, or slices of a
+        ``multiprocessing.shared_memory`` buffer.  They are adopted
+        **zero-copy**: the graph keeps read-only views over the caller's
+        bytes, so a worker attaching a shared segment maps the same
+        physical tables as every other worker on the host.  The object
+        layer (:class:`Edge` values, per-node edge-id lists) is
+        reconstructed lazily on first access; kernels that stay on the
+        flat core never pay for it.
+
+        The tables are trusted to be internally consistent (they came
+        out of another ``PortGraph``); this is an adoption seam, not a
+        validating constructor.
+        """
+        graph = cls.__new__(cls)
+        graph._adopt_csr(num_nodes, num_edges, off, nbr, peer, eids)
+        return graph
+
+    def _adopt_csr(self, num_nodes, num_edges, off, nbr, peer, eids) -> None:
+        self._num_nodes = int(num_nodes)
+        self._num_edges = int(num_edges)
+        self._off = _readonly_q(off)
+        self._nbr = _readonly_q(nbr)
+        self._peer = _readonly_q(peer)
+        self._eids = _readonly_q(eids)
+        off_view = self._off
+        deg = [off_view[v + 1] - off_view[v] for v in range(self._num_nodes)]
+        self._deg = deg
+        self._min_degree = _DeprecatedCallableInt(min(deg, default=0))
+        self._max_degree = max(deg, default=0)
+        self._frozen = True
+        # _edges and _adj are deliberately left unset; __getattr__
+        # materializes them from the flat tables on first touch.
+
+    def __getattr__(self, name: str):
+        # Only reachable when a slot is unset: the lazy object layer of
+        # a CSR-adopted graph.  Both halves materialize together.
+        if name in ("_edges", "_adj"):
+            edges, adj = self._materialize_object_layer()
+            self._edges = edges
+            self._adj = adj
+            return edges if name == "_edges" else adj
+        raise AttributeError(name)
+
+    def _materialize_object_layer(self) -> tuple[list[Edge], list[list[int]]]:
+        """Rebuild Edge values and per-node edge-id lists from the CSR
+        tables.  Flat slots are scanned in (node, port) order, so the
+        first slot of each edge id is its canonical ``a`` side."""
+        off, eids = self._off, self._eids
+        first: list[HalfEdge | None] = [None] * self._num_edges
+        edges: list[Edge | None] = [None] * self._num_edges
+        adj: list[list[int]] = []
+        for v in range(self._num_nodes):
+            base = off[v]
+            row = eids[base : off[v + 1]].tolist()
+            adj.append(row)
+            for port, eid in enumerate(row):
+                side = HalfEdge(v, port)
+                if first[eid] is None:
+                    first[eid] = side
+                else:
+                    edges[eid] = Edge(eid, first[eid], side)
+        return edges, adj
+
+    # -- pickling --------------------------------------------------------------
+    #
+    # Memoryviews are not picklable, so state travels as the raw table
+    # bytes; the receiving side re-adopts them (object layer lazy again).
+    # This also keeps pickles small: no Edge/HalfEdge object graph.
+
+    def __getstate__(self) -> dict:
+        return {
+            "num_nodes": self._num_nodes,
+            "num_edges": self._num_edges,
+            "off": self._off.tobytes(),
+            "nbr": self._nbr.tobytes(),
+            "peer": self._peer.tobytes(),
+            "eids": self._eids.tobytes(),
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        tables = []
+        for key in ("off", "nbr", "peer", "eids"):
+            buf = array(_CSR_TYPECODE)
+            buf.frombytes(state[key])
+            tables.append(buf)
+        self._adopt_csr(state["num_nodes"], state["num_edges"], *tables)
 
     @classmethod
     def from_edge_list(
@@ -209,7 +326,7 @@ class PortGraph:
 
     @property
     def num_edges(self) -> int:
-        return len(self._edges)
+        return self._num_edges
 
     def degree(self, v: int) -> int:
         return self._deg[v]
@@ -234,14 +351,18 @@ class PortGraph:
 
     # -- flat incidence core -----------------------------------------------------
 
-    def csr(self) -> tuple[list[int], list[int], list[int], list[int]]:
+    def csr(self) -> tuple[memoryview, memoryview, memoryview, memoryview]:
         """The flat incidence tables ``(offsets, neighbors, peer_ports,
         edge_ids)``.
 
         Port slot ``(v, p)`` lives at flat index ``offsets[v] + p``;
-        ``offsets[num_nodes]`` equals ``2 * num_edges``.  The arrays are
-        shared with the graph and must not be mutated.  Hot loops unpack
-        them into locals; everything else should prefer the object API.
+        ``offsets[num_nodes]`` equals ``2 * num_edges``.  The tables are
+        **read-only** int64 memoryviews over the graph's frozen typed
+        arrays: mutation attempts raise ``TypeError``, and the buffer
+        protocol lets numpy kernels and shared-memory exports consume
+        them zero-copy (``np.frombuffer(view, dtype=np.int64)``).  Hot
+        loops unpack them into locals; everything else should prefer the
+        object API.
         """
         return self._off, self._nbr, self._peer, self._eids
 
@@ -265,7 +386,7 @@ class PortGraph:
             yield edge.b
 
     def half_edges_of(self, v: int) -> Iterator[HalfEdge]:
-        for port in range(len(self._adj[v])):
+        for port in range(self._deg[v]):
             yield HalfEdge(v, port)
 
     # -- incidence queries ---------------------------------------------------------
@@ -303,7 +424,7 @@ class PortGraph:
 
     def neighbors(self, v: int) -> list[int]:
         """Neighbors of ``v`` with multiplicity, in port order."""
-        return self._nbr[self._off[v] : self._off[v + 1]]
+        return self._nbr[self._off[v] : self._off[v + 1]].tolist()
 
     def incident_edges(self, v: int) -> list[Edge]:
         """Incident edges in port order; a self-loop appears twice."""

@@ -28,6 +28,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
+from repro import kernels as kernel_layer
 from repro.lcl.assignment import Labeling
 from repro.lcl.problem import NeLCL
 from repro.lcl.verifier import PreparedVerifier
@@ -248,6 +249,23 @@ class InstanceCache:
             get_telemetry().incr("instance_cache.bypassed")
             return family_info.builder(n, seed, **(params or {})), None
         key = (family_info.name, n)
+        hit = key in self._cores
+        core = self.core(family_info, n)
+        if hit:
+            self.reused += 1
+            get_telemetry().incr("instance_cache.core_reused")
+        assert family_info.dress is not None
+        return family_info.dress(core, n, seed), key
+
+    def core(self, family_info: FamilyInfo, n: int) -> Any:
+        """The shared frozen core for ``(family, n)``, building on miss.
+
+        This is the build half of :meth:`build` without the per-seed
+        dressing — the shared-memory exporter uses it to reach the very
+        core object the serial path would dress, so exported bytes and
+        locally built instances can never diverge.
+        """
+        key = (family_info.name, n)
         core = self._cores.get(key)
         if core is None:
             assert family_info.topology is not None
@@ -259,10 +277,19 @@ class InstanceCache:
             get_telemetry().incr("instance_cache.core_built")
         else:
             self._cores.move_to_end(key)
-            self.reused += 1
-            get_telemetry().incr("instance_cache.core_reused")
-        assert family_info.dress is not None
-        return family_info.dress(core, n, seed), key
+        return core
+
+    def adopt(self, key: tuple[str, int], core: Any) -> None:
+        """Seed the cache with an externally built core (e.g. a graph
+        attached from a shared-memory segment).  Subsequent builds for
+        ``key`` dress the adopted core instead of rebuilding it, which
+        is what keeps every worker on a host on the *same* mapped
+        topology bytes."""
+        self._cores[key] = core
+        self._cores.move_to_end(key)
+        if len(self._cores) > self.capacity:
+            self._cores.popitem(last=False)
+        get_telemetry().incr("instance_cache.core_adopted")
 
 
 class TrialBatch:
@@ -288,8 +315,10 @@ class TrialBatch:
         verify: bool = True,
         check_sound: bool = True,
         instances: InstanceCache | None = None,
+        kernels: str = "auto",
     ):
         registry.ensure_registered()
+        self._kernels = kernel_layer.ensure_mode(kernels)
         self.problem_info = registry.problem(problem)
         self.solver_info = registry.solver(solver)
         self.family_info = registry.family(family)
@@ -334,7 +363,7 @@ class TrialBatch:
             if len(self._prepared) > self.instances.capacity:
                 self._prepared.popitem(last=False)
             if prepared is not None:
-                verdict = prepared.verify(result.outputs)
+                verdict = kernel_layer.prepared_verify(prepared, result.outputs)
                 assert verdict.ok, (
                     f"{self.problem_info.name}: {verdict.summary()}"
                 )
@@ -348,16 +377,19 @@ class TrialBatch:
         start = time.perf_counter()
         with telemetry.span("trial.build"):
             instance, core_key = self.instances.build(self.family_info, n, seed)
-        with telemetry.span("trial.solve"):
-            result = dispatch_solver(self._solver_factory(), instance)
-        verified: bool | None = None
-        if self._verify:
-            verified = True
-            try:
-                with telemetry.span("trial.verify"):
-                    self._check(instance, result, core_key)
-            except AssertionError:
-                verified = False
+        backend = kernel_layer.select_backend(self._kernels, instance.graph)
+        telemetry.incr(f"kernels.{backend}_trials")
+        with kernel_layer.active(backend):
+            with telemetry.span("trial.solve"):
+                result = dispatch_solver(self._solver_factory(), instance)
+            verified: bool | None = None
+            if self._verify:
+                verified = True
+                try:
+                    with telemetry.span("trial.verify"):
+                        self._check(instance, result, core_key)
+                except AssertionError:
+                    verified = False
         telemetry.incr("trials.run")
         return TrialRecord(
             problem=self.problem_info.name,
@@ -418,6 +450,7 @@ class Runtime:
         seed: int = 0,
         verify: bool = True,
         check_sound: bool = True,
+        kernels: str = "auto",
     ) -> TrialRecord:
         """Build, solve, verify; everything the trial produced in one record.
 
@@ -425,6 +458,9 @@ class Runtime:
         for: the solver must target ``problem`` and declare soundness on
         ``family``.  Pass ``False`` to probe unsound combinations (e.g.
         corruption experiments) — the verifier still reports the truth.
+        ``kernels`` picks the implementation layer for solve+verify
+        (see :mod:`repro.kernels`); records are bit-identical across
+        backends, only ``wall_time`` differs.
         """
         problem_info = registry.problem(problem)
         solver_info = registry.solver(solver)
@@ -440,20 +476,24 @@ class Runtime:
                     f"solver {solver!r} is not declared sound on family "
                     f"{family!r} (sound on: {', '.join(solver_info.families)})"
                 )
+        kernel_layer.ensure_mode(kernels)
         telemetry = get_telemetry()
         start = time.perf_counter()
         with telemetry.span("trial.build"):
             instance = family_info.builder(n, seed)
-        with telemetry.span("trial.solve"):
-            result = dispatch_solver(solver_info.factory(), instance)
+        backend = kernel_layer.select_backend(kernels, instance.graph)
+        telemetry.incr(f"kernels.{backend}_trials")
         verified: bool | None = None
-        if verify:
-            verified = True
-            try:
-                with telemetry.span("trial.verify"):
-                    verifier_for(problem_info)(instance, result)
-            except AssertionError:
-                verified = False
+        with kernel_layer.active(backend):
+            with telemetry.span("trial.solve"):
+                result = dispatch_solver(solver_info.factory(), instance)
+            if verify:
+                verified = True
+                try:
+                    with telemetry.span("trial.verify"):
+                        verifier_for(problem_info)(instance, result)
+                except AssertionError:
+                    verified = False
         telemetry.incr("trials.run")
         return TrialRecord(
             problem=problem_info.name,
@@ -479,6 +519,7 @@ class Runtime:
         seeds: Sequence[int] = (0,),
         verify: bool = True,
         check_sound: bool = True,
+        kernels: str = "auto",
     ) -> list[TrialRecord]:
         """Batched :meth:`run` over the (ns x seeds) grid, n-major.
 
@@ -490,6 +531,11 @@ class Runtime:
         trial — only ``wall_time`` may differ.
         """
         batch = TrialBatch(
-            problem, solver, family, verify=verify, check_sound=check_sound
+            problem,
+            solver,
+            family,
+            verify=verify,
+            check_sound=check_sound,
+            kernels=kernels,
         )
         return [batch.run_one(n, seed) for n in ns for seed in seeds]

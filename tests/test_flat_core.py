@@ -14,6 +14,7 @@ from collections import deque
 import pytest
 from hypothesis import given, settings
 
+from repro import kernels
 from repro.generators import cycle
 from repro.lcl import Labeling, verify
 from repro.local import (
@@ -241,6 +242,108 @@ class TestRewiredConsumers:
         slow = verify(unflagged, graph, inputs, outputs)
         assert fast.ok == slow.ok
         assert fast.violations == slow.violations
+
+
+# -- vector kernels vs the object oracle --------------------------------------
+
+needs_numpy = pytest.mark.skipif(
+    not kernels.HAVE_NUMPY, reason="vector kernels need numpy"
+)
+
+
+@needs_numpy
+class TestVectorKernelsDifferential:
+    """Every vectorized kernel against the object layer it shadows.
+
+    The object implementations above are the oracle; under
+    ``kernels.active("vector")`` the same public entry points dispatch
+    to :mod:`repro.kernels.vector` and must return *bit-identical*
+    results — same values, same plain-python types, same ordering —
+    on random multigraphs with self-loops and parallel edges.
+    """
+
+    @given(multigraphs())
+    @settings(max_examples=40, deadline=None)
+    def test_bfs_matches_object_backend(self, graph: PortGraph):
+        for source in range(min(graph.num_nodes, 3)):
+            for radius in (None, 0, 2):
+                expected = bfs_distances(graph, source, max_radius=radius)
+                with kernels.active("vector"):
+                    got = bfs_distances(graph, source, max_radius=radius)
+                assert got == expected
+                assert all(
+                    type(k) is int and type(v) is int for k, v in got.items()
+                )
+
+    @given(multigraphs())
+    @settings(max_examples=40, deadline=None)
+    def test_multi_source_and_components_match(self, graph: PortGraph):
+        sources = list(range(min(graph.num_nodes, 2)))
+        expected = multi_source_bfs(graph, sources)
+        expected_comps = connected_components(graph)
+        with kernels.active("vector"):
+            got = multi_source_bfs(graph, sources)
+            got_comps = connected_components(graph)
+        assert got == expected
+        assert got_comps == expected_comps
+        dist, parent = got
+        assert all(type(v) is int for v in dist.values())
+        assert all(type(e) is int for e in parent.values())
+
+    @given(multigraphs())
+    @settings(max_examples=20, deadline=None)
+    def test_engine_delivery_matches_object_backend(self, graph: PortGraph):
+        instance = Instance(graph, sequential_ids(graph.num_nodes))
+        try:
+            expected = SyncEngine(instance, _FloodNode).run(max_rounds=64)
+        except Exception:
+            return  # disconnected graphs never converge; skip those
+        with kernels.active("vector"):
+            got = SyncEngine(instance, _FloodNode).run(max_rounds=64)
+        assert got.results == expected.results
+        assert got.rounds == expected.rounds
+        assert got.halt_rounds == expected.halt_rounds
+
+    @given(multigraphs())
+    @settings(max_examples=30, deadline=None)
+    def test_verifier_matches_object_backend(self, graph: PortGraph):
+        problem = VertexColoring(3).problem()
+        inputs = Labeling(graph)
+        # v % 3 colors adjacent nodes equal often enough to exercise
+        # the violation path; the occasional out-of-domain label
+        # exercises the domain pass.
+        outputs = Labeling(graph)
+        for v in graph.nodes():
+            outputs.set_node(v, "junk" if v % 7 == 6 else v % 3)
+        expected = verify(problem, graph, inputs, outputs)
+        with kernels.active("vector"):
+            got = verify(problem, graph, inputs, outputs)
+        assert got.ok == expected.ok
+        assert got.violations == expected.violations
+
+
+class TestReadonlyCore:
+    """Satellite regression: csr() views are frozen against callers."""
+
+    def test_caller_mutation_cannot_corrupt_csr(self):
+        graph = cycle(8)
+        off, nbr, peer, eids = graph.csr()
+        for view in (off, nbr, peer, eids):
+            with pytest.raises(TypeError):
+                view[0] = 99
+        # still intact afterwards
+        assert bfs_distances(graph, 0) == _object_bfs(graph, 0)
+
+    @needs_numpy
+    def test_numpy_wrap_inherits_readonly(self):
+        import numpy as np
+
+        graph = cycle(8)
+        for view in graph.csr():
+            arr = np.frombuffer(view, dtype=np.int64)
+            assert not arr.flags.writeable
+            with pytest.raises(ValueError):
+                arr[0] = 99
 
 
 # -- satellite regressions ----------------------------------------------------

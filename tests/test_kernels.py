@@ -1,0 +1,354 @@
+"""Tests for :mod:`repro.kernels`: backend selection, the vectorized
+verifier twin, shared-memory topology cores, and record parity across
+the whole engine stack.
+
+The object layer is the oracle everywhere: with or without numpy, with
+any worker count or shard count, trial records must be bit-identical —
+the vector backend only buys time, never different answers.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import logging
+
+import pytest
+
+from repro import kernels
+from repro.engine.runner import (
+    ShardReport,
+    merge_shard_reports,
+    plan_experiment,
+    run_experiment,
+    run_shard,
+)
+from repro.engine.spec import ExperimentSpec
+from repro.generators import cycle
+from repro.kernels import shm
+from repro.lcl import Labeling, verify
+from repro.lcl.verifier import PreparedVerifier
+from repro.runtime import registry
+from repro.runtime.driver import InstanceCache, Runtime
+from repro.runtime.entrypoints import family_ref, solver_ref, verifier_ref
+
+needs_numpy = pytest.mark.skipif(
+    not kernels.HAVE_NUMPY, reason="vector kernels need numpy"
+)
+
+
+def _registry_spec(name, solver, problem, family, ns, seeds):
+    return ExperimentSpec(
+        name=name,
+        solver=solver_ref(solver),
+        generator=family_ref(family),
+        verifier=verifier_ref(problem),
+        ns=ns,
+        seeds=seeds,
+    )
+
+
+PARITY_SPEC = _registry_spec(
+    "kernels/degree-parity/parity@cycle",
+    "parity",
+    "degree-parity",
+    "cycle",
+    ns=(8, 16),
+    seeds=(0, 1),
+)
+
+
+def _record_keys(report):
+    return [json.dumps(r, sort_keys=True) for r in report.records]
+
+
+def _counter_total(telemetry_block, name):
+    """Sum one counter across the delta parts of a merged snapshot."""
+    if not telemetry_block:
+        return 0
+    total = 0
+    for part in telemetry_block.get("parts", {}).values():
+        total += part.get("counters", {}).get(name, 0)
+    return total
+
+
+# -- backend selection --------------------------------------------------------
+
+
+class TestBackendSelection:
+    def test_ensure_mode_rejects_junk(self):
+        with pytest.raises(ValueError, match="unknown kernels mode"):
+            kernels.ensure_mode("simd")
+        for mode in kernels.BACKENDS:
+            assert kernels.ensure_mode(mode) == mode
+
+    def test_active_needs_concrete_backend(self):
+        with pytest.raises(ValueError, match="concrete backend"):
+            with kernels.active("auto"):
+                pass
+
+    def test_active_restores_previous_backend(self):
+        assert kernels.current_backend() == "object"
+        with kernels.active("vector"):
+            assert kernels.current_backend() == "vector"
+            with kernels.active("object"):
+                assert kernels.current_backend() == "object"
+            assert kernels.current_backend() == "vector"
+        assert kernels.current_backend() == "object"
+
+    def test_object_mode_always_object(self):
+        assert kernels.select_backend("object", cycle(4096)) == "object"
+
+    @needs_numpy
+    def test_auto_threshold(self):
+        small = cycle(kernels.AUTO_THRESHOLD // 2)
+        large = cycle(kernels.AUTO_THRESHOLD)
+        assert kernels.select_backend("auto", small) == "object"
+        assert kernels.select_backend("auto", large) == "vector"
+        assert kernels.select_backend("auto", None) == "vector"
+        assert kernels.select_backend("vector", small) == "vector"
+
+    def test_vector_enabled_is_ambient(self):
+        assert not kernels.vector_enabled()
+        with kernels.active("vector"):
+            assert kernels.vector_enabled() == kernels.HAVE_NUMPY
+
+    def test_degrades_without_numpy_with_one_warning(self, monkeypatch, caplog):
+        monkeypatch.setattr(kernels, "HAVE_NUMPY", False)
+        monkeypatch.setattr(kernels, "_WARNED_NO_NUMPY", False)
+        with caplog.at_level(logging.WARNING, logger="repro.kernels"):
+            assert kernels.select_backend("vector", cycle(4096)) == "object"
+            assert kernels.select_backend("auto", cycle(4096)) == "object"
+            assert kernels.select_backend("vector") == "object"
+        warnings = [
+            rec for rec in caplog.records if "degrade" in rec.getMessage()
+        ]
+        assert len(warnings) == 1  # logged once, not per call
+        with kernels.active("vector"):
+            assert not kernels.vector_enabled()
+
+    def test_runtime_works_without_numpy(self, monkeypatch):
+        monkeypatch.setattr(kernels, "HAVE_NUMPY", False)
+        monkeypatch.setattr(kernels, "_WARNED_NO_NUMPY", True)
+        record = Runtime().run(
+            "degree-parity", "parity", "cycle", 16, kernels="vector"
+        )
+        assert record.verified
+
+
+# -- the vectorized verifier twin --------------------------------------------
+
+
+@needs_numpy
+class TestVectorVerifierTwin:
+    def _checked(self, problem, graph, outputs):
+        inputs = Labeling(graph)
+        expected = verify(problem, graph, inputs, outputs)
+        with kernels.active("vector"):
+            got = verify(problem, graph, inputs, outputs)
+        assert got.ok == expected.ok
+        assert got.violations == expected.violations
+        return expected
+
+    def test_violation_lists_identical_including_order(self):
+        from repro.problems import VertexColoring
+
+        graph = cycle(24)
+        problem = VertexColoring(2).problem()
+        outputs = Labeling(graph)
+        for v in graph.nodes():
+            # domain breakage, node-constraint breakage, and valid
+            # stretches all mixed together
+            outputs.set_node(v, "junk" if v % 5 == 4 else v % 2)
+        verdict = self._checked(problem, graph, outputs)
+        assert not verdict.ok
+        kinds = {violation.kind for violation in verdict.violations}
+        assert "domain" in kinds
+
+    def test_prepared_twin_matches_and_is_cached(self):
+        from repro.problems import VertexColoring
+
+        graph = cycle(32)
+        problem = VertexColoring(3).problem()
+        prepared = PreparedVerifier(problem, graph)
+        outputs = Labeling(graph)
+        for v in graph.nodes():
+            outputs.set_node(v, v % 3)
+        expected = prepared.verify(outputs)
+        with kernels.active("vector"):
+            got = kernels.prepared_verify(prepared, outputs)
+            twin = prepared._vector_twin
+            again = kernels.prepared_verify(prepared, outputs)
+            assert prepared._vector_twin is twin  # built once, reused
+        assert got.ok == expected.ok
+        assert got.violations == expected.violations
+        assert again.violations == expected.violations
+
+    def test_prepared_object_path_untouched_without_vector(self):
+        from repro.problems import VertexColoring
+
+        graph = cycle(8)
+        prepared = PreparedVerifier(VertexColoring(3).problem(), graph)
+        outputs = Labeling(graph)
+        for v in graph.nodes():
+            outputs.set_node(v, v % 3 if v else 1)
+        verdict = kernels.prepared_verify(prepared, outputs)
+        assert verdict.violations == prepared.verify(outputs).violations
+        assert not hasattr(prepared, "_vector_twin")
+
+
+# -- shared-memory topology cores --------------------------------------------
+
+
+class TestSharedMemoryCores:
+    def test_export_attach_release_lifecycle(self):
+        graph = cycle(64)
+        handle = shm.CoreHandle(*shm.export_graph(graph))
+        assert handle.segment.startswith("repro-core-")
+        assert handle.words == shm.core_words(graph)
+        # same-process attach short-circuits to the exporter's object
+        assert shm.attach_graph(handle) is graph
+        assert glob.glob(f"/dev/shm/{handle.segment}")
+        shm.release_core(handle)
+        shm.release_core(handle)  # idempotent
+        assert not glob.glob(f"/dev/shm/{handle.segment}")
+
+    def test_foreign_attach_maps_identical_tables(self):
+        graph = cycle(48)
+        handle = shm.export_graph(graph)
+        # simulate a foreign process: hide the exporter-side memo
+        entry = shm._EXPORTED.pop(handle.segment)
+        try:
+            attached = shm.attach_graph(handle)
+            assert attached is not graph
+            assert attached is shm.attach_graph(handle)  # memoized
+            for mine, theirs in zip(graph.csr(), attached.csr()):
+                assert list(mine) == list(theirs)
+            assert attached.num_nodes == graph.num_nodes
+            assert attached.num_edges == graph.num_edges
+            assert shm.attached_core_words() >= shm.core_words(graph)
+        finally:
+            # drop the attachment; its views are alive, so disarm the
+            # SharedMemory finalizer the way the atexit hook does and
+            # let the exporter clean up the segment
+            dropped = shm._ATTACHED.pop(handle.segment, None)
+            if dropped is not None:
+                seg = dropped[1]
+                seg._buf = None
+                seg._mmap = None
+                seg._fd = -1
+            shm._EXPORTED[handle.segment] = entry
+            shm.release_core(handle)
+
+    def test_handle_is_tiny_on_the_wire(self):
+        import pickle
+
+        graph = cycle(2048)
+        handle = shm.export_graph(graph)
+        try:
+            handle_bytes = len(pickle.dumps(tuple(handle)))
+            core_bytes = len(pickle.dumps(graph))
+            assert handle_bytes < 128
+            assert handle_bytes * 100 < core_bytes
+        finally:
+            shm.release_core(handle)
+
+    def test_instance_cache_adopt_serves_core(self):
+        cache = InstanceCache()
+        family_info = registry.family("cycle")
+        graph = cycle(32)
+        cache.adopt(("cycle", 32), graph)
+        assert cache.core(family_info, 32) is graph
+        instance, key = cache.build(family_info, 32, seed=0)
+        assert key == ("cycle", 32)
+        assert instance.graph is graph
+
+
+# -- record parity through the whole stack ------------------------------------
+
+
+class TestKernelsRecordParity:
+    def test_runtime_records_identical_across_backends(self):
+        runtime = Runtime()
+        grids = dict(ns=(8, 16), seeds=(0, 1))
+        obj = runtime.run_many(
+            "degree-parity", "parity", "cycle", kernels="object", **grids
+        )
+        auto = runtime.run_many(
+            "degree-parity", "parity", "cycle", kernels="auto", **grids
+        )
+        vec = runtime.run_many(
+            "degree-parity", "parity", "cycle", kernels="vector", **grids
+        )
+        def strip(records):
+            return [
+                {k: v for k, v in vars(r).items() if k != "wall_time"}
+                for r in records
+            ]
+        assert strip(obj) == strip(auto) == strip(vec)
+
+    @pytest.mark.parametrize("num_shards", [1, 4])
+    def test_shard_records_identical_across_backends(self, num_shards):
+        oracle = run_experiment(PARITY_SPEC, workers=1, kernels="object")
+        plan = plan_experiment(PARITY_SPEC, num_shards=num_shards)
+        reports = [
+            run_shard(
+                plan.manifest(i), workers=2, kernels="vector"
+            )
+            for i in range(num_shards)
+        ]
+        merged = merge_shard_reports(reports)
+        assert _record_keys(merged) == _record_keys(oracle)
+        assert merged.kernels == "vector"
+
+    def test_report_carries_kernels_field(self):
+        report = run_experiment(PARITY_SPEC, workers=1, kernels="object")
+        assert report.kernels == "object"
+        assert report.as_dict()["kernels"] == "object"
+        tele = report.as_dict()["telemetry"]
+        executed = _counter_total(tele, "kernels.object_trials")
+        assert executed == len(report.records)
+        assert _counter_total(tele, "kernels.vector_trials") == 0
+
+    def test_shard_report_kernels_roundtrip_and_default(self):
+        plan = plan_experiment(PARITY_SPEC, num_shards=1)
+        report = run_shard(plan.manifest(0), workers=1, kernels="object")
+        payload = report.as_dict()
+        assert payload["kernels"] == "object"
+        assert ShardReport.from_dict(payload).kernels == "object"
+        payload.pop("kernels")  # reports written by older builds
+        assert ShardReport.from_dict(payload).kernels == "auto"
+
+    def test_mixed_shard_backends_merge_identically(self):
+        plan = plan_experiment(PARITY_SPEC, num_shards=4)
+        modes = ["object", "vector", "object", "vector"]
+        reports = [
+            run_shard(plan.manifest(i), workers=1, kernels=modes[i])
+            for i in range(4)
+        ]
+        merged = merge_shard_reports(reports)
+        oracle = run_experiment(PARITY_SPEC, workers=1, kernels="object")
+        assert _record_keys(merged) == _record_keys(oracle)
+        assert merged.kernels == "mixed"
+
+    def test_forced_shm_export_keeps_records_and_cleans_up(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM_CORES", "1")
+        before = set(glob.glob("/dev/shm/repro-core-*"))
+        oracle = run_experiment(PARITY_SPEC, workers=1, kernels="object")
+        plan = plan_experiment(PARITY_SPEC, num_shards=1)
+        report = run_shard(plan.manifest(0), workers=2, kernels="auto")
+        shard_records = [
+            json.dumps(record, sort_keys=True)
+            for _, record in sorted(report.records)
+        ]
+        assert shard_records == _record_keys(oracle)
+        exported = _counter_total(report.telemetry, "shm.cores_exported")
+        assert exported >= 1  # cycle topology cores went through shm
+        # exporter released every segment when the shard finished
+        assert set(glob.glob("/dev/shm/repro-core-*")) == before
+
+    def test_shm_export_disabled_by_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM_CORES", "0")
+        plan = plan_experiment(PARITY_SPEC, num_shards=1)
+        report = run_shard(plan.manifest(0), workers=2, kernels="auto")
+        assert _counter_total(report.telemetry, "shm.cores_exported") == 0
