@@ -25,20 +25,33 @@ part of every key.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import logging
 import os
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Iterator
+from typing import Any, Callable, Iterable, Iterator
 
 from repro.obs import get_telemetry
 from repro.util.fsio import atomic_write_text
 
-__all__ = ["CacheStats", "TrialCache", "DEFAULT_CACHE_DIR"]
+__all__ = [
+    "CacheStats",
+    "TrialCache",
+    "DEFAULT_CACHE_DIR",
+    "EXPORT_MANIFEST_NAME",
+    "EXPORT_MANIFEST_VERSION",
+    "load_export_manifest",
+]
 
 _LOG = logging.getLogger("repro.engine")
 
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: The integrity root :meth:`TrialCache.export_dir` writes next to its
+#: record files; bump the version when the manifest layout changes.
+EXPORT_MANIFEST_NAME = "manifest.json"
+EXPORT_MANIFEST_VERSION = 1
 
 
 @dataclass
@@ -46,16 +59,28 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     puts: int = 0
+    #: Undecodable lines skipped while reading this cache's roots,
+    #: imports, and merge sources — the torn tails killed writers leave.
+    torn_lines: int = 0
 
     def as_dict(self) -> dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "puts": self.puts}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "torn_lines": self.torn_lines,
+        }
 
 
-def _parse_lines(path: str) -> Iterator[tuple[str, dict[str, Any]]]:
+def _parse_lines(
+    path: str, on_torn: Callable[[], None] | None = None
+) -> Iterator[tuple[str, dict[str, Any]]]:
     """Yield ``(key, record)`` pairs from one shard/export file.
 
     A missing file reads as empty; undecodable lines (the torn tail a
-    killed writer leaves) are skipped rather than poisoning the run.
+    killed writer leaves) are skipped rather than poisoning the run,
+    with ``on_torn`` called once per skip so callers can account for
+    them instead of silently under-reading.
     """
     try:
         with open(path, "r", encoding="utf-8") as handle:
@@ -66,6 +91,8 @@ def _parse_lines(path: str) -> Iterator[tuple[str, dict[str, Any]]]:
                 try:
                     entry = json.loads(line)
                 except json.JSONDecodeError:
+                    if on_torn is not None:
+                        on_torn()
                     continue  # torn write at the tail of the file
                 key = entry.get("key")
                 if key and "record" in entry:
@@ -74,7 +101,9 @@ def _parse_lines(path: str) -> Iterator[tuple[str, dict[str, Any]]]:
         return  # missing file == empty file
 
 
-def _scan_root(root: str) -> dict[str, dict[str, Any]]:
+def _scan_root(
+    root: str, on_torn: Callable[[], None] | None = None
+) -> dict[str, dict[str, Any]]:
     """Last-record-per-key view of every ``*.jsonl`` directly in a root."""
     entries: dict[str, dict[str, Any]] = {}
     try:
@@ -84,9 +113,22 @@ def _scan_root(root: str) -> dict[str, dict[str, Any]]:
     for name in names:
         if not name.endswith(".jsonl"):
             continue
-        for key, record in _parse_lines(os.path.join(root, name)):
+        for key, record in _parse_lines(os.path.join(root, name), on_torn):
             entries[key] = record
     return entries
+
+
+def load_export_manifest(root: str) -> dict[str, Any]:
+    """Read and version-check the manifest of an exported directory."""
+    path = os.path.join(root, EXPORT_MANIFEST_NAME)
+    with open(path, "r", encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    if manifest.get("version") != EXPORT_MANIFEST_VERSION:
+        raise ValueError(
+            f"unsupported export-manifest version {manifest.get('version')!r} "
+            f"(this build reads version {EXPORT_MANIFEST_VERSION})"
+        )
+    return manifest
 
 
 def _dump_line(key: str, record: dict[str, Any]) -> str:
@@ -129,13 +171,19 @@ class TrialCache:
         # load, matching "the private copy wins".
         return [self.root] + ([self.isolation] if self.isolation else [])
 
+    def _count_torn(self) -> None:
+        self.stats.torn_lines += 1
+        get_telemetry().incr("cache.torn_lines_skipped")
+
     def _load_shard(self, name: str) -> None:
         if name in self._loaded:
             return
         self._loaded.add(name)
         get_telemetry().incr("cache.shard_files_loaded")
         for root in self._read_roots():
-            for key, record in _parse_lines(os.path.join(root, name)):
+            for key, record in _parse_lines(
+                os.path.join(root, name), self._count_torn
+            ):
                 self._index[key] = record
 
     def _peek(self, key: str) -> dict[str, Any] | None:
@@ -237,6 +285,45 @@ class TrialCache:
         )
         return len(entries)
 
+    def export_dir(self, dest: str) -> dict[str, Any]:
+        """Write a compacted, integrity-checked copy of this cache.
+
+        ``dest`` gets one key-sorted JSONL file per occupied shard plus
+        a :data:`EXPORT_MANIFEST_NAME` recording each file's sha256,
+        byte length, and record count — the shape ``serve-exports``
+        serves and ``merge --from-url`` verifies, so a receiver can
+        prove a transfer intact (or quarantine it) without trusting the
+        sender or the network.  Equal caches export byte-identical
+        directories; every file (and the manifest) is atomically
+        replaced.  Returns the manifest payload.
+        """
+        self.load_all()
+        os.makedirs(dest, exist_ok=True)
+        groups: dict[str, list[tuple[str, dict[str, Any]]]] = {}
+        for key, record in sorted(self._index.items()):
+            groups.setdefault(self._shard_name(key), []).append((key, record))
+        files: dict[str, dict[str, Any]] = {}
+        for name, entries in sorted(groups.items()):
+            text = "".join(_dump_line(key, record) + "\n" for key, record in entries)
+            data = text.encode("utf-8")
+            atomic_write_text(os.path.join(dest, name), text)
+            files[name] = {
+                "sha256": hashlib.sha256(data).hexdigest(),
+                "bytes": len(data),
+                "records": len(entries),
+            }
+        manifest = {
+            "version": EXPORT_MANIFEST_VERSION,
+            "files": files,
+            "records_total": len(self._index),
+        }
+        atomic_write_text(
+            os.path.join(dest, EXPORT_MANIFEST_NAME),
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n",
+        )
+        get_telemetry().incr("cache.dir_exports")
+        return manifest
+
     def _absorb(self, incoming: dict[str, dict[str, Any]]) -> int:
         """Key-union incoming records; newcomers win only when they differ.
 
@@ -254,18 +341,32 @@ class TrialCache:
         self.put_many(fresh)
         return len(fresh)
 
-    def import_file(self, path: str) -> int:
-        """Import a JSONL export; returns how many records were new.
+    def import_file(self, path: str) -> tuple[int, int]:
+        """Import a JSONL export; returns ``(added, torn_lines_skipped)``.
 
-        Tolerates a torn trailing line; within the file the last record
+        Tolerates a torn trailing line — but *reports* it, so a caller
+        moving records between hosts can tell a clean transfer from one
+        that silently lost its tail; within the file the last record
         per key wins, mirroring shard replay.
         """
         if not os.path.isfile(path):
             raise ValueError(f"cache export {path!r} does not exist")
         incoming: dict[str, dict[str, Any]] = {}
-        for key, record in _parse_lines(path):
+        skipped = 0
+
+        def count() -> None:
+            nonlocal skipped
+            skipped += 1
+
+        for key, record in _parse_lines(path, count):
             incoming[key] = record
-        return self._absorb(incoming)
+        if skipped:
+            self.stats.torn_lines += skipped
+            get_telemetry().incr("cache.torn_lines_skipped", skipped)
+            _LOG.warning(
+                "import of %s skipped %d torn line(s)", path, skipped
+            )
+        return self._absorb(incoming), skipped
 
     def merge(self, other_root: str) -> int:
         """Union another cache root's records into this cache.
@@ -274,11 +375,12 @@ class TrialCache:
         commutative up to file layout (any merge order yields the same
         key -> record mapping) because keys are content hashes: two
         caches can only disagree on presence.  Returns how many records
-        were new.
+        were new; torn source lines land in ``stats.torn_lines`` and
+        the ``cache.torn_lines_skipped`` counter.
         """
         if not os.path.isdir(other_root):
             raise ValueError(f"cache root {other_root!r} does not exist")
-        added = self._absorb(_scan_root(other_root))
+        added = self._absorb(_scan_root(other_root, self._count_torn))
         telemetry = get_telemetry()
         telemetry.incr("cache.merges")
         telemetry.incr("cache.merge_new_records", added)

@@ -7,6 +7,10 @@ Subcommands::
     python -m repro.engine run-shard --plan plan.json --shard 0/4 --cache-out shard0
     python -m repro.engine merge --plan plan.json --from shard0 shard1 shard2 shard3
     python -m repro.engine fabric --plan plan.json --cache-dir cache
+    python -m repro.engine fabric --plan plan.json --target 'cmd://ssh h ...'
+    python -m repro.engine cache --export exports/shard-0
+    python -m repro.engine serve-exports --root exports --port 8750
+    python -m repro.engine merge --plan plan.json --from-url http://h:8750/shard-0
     python -m repro.engine status --plan plan.json
     python -m repro.engine stats --report report.json
     python -m repro.engine cache --status
@@ -57,26 +61,41 @@ import argparse
 import json
 import logging
 import os
+import shlex
 import sys
 from typing import Sequence
 
 from repro.engine.cache import DEFAULT_CACHE_DIR, TrialCache
 from repro.engine.experiments import EXPERIMENTS, build_experiment, paper_placement
-from repro.engine.fabric import BackoffPolicy, run_fabric
+from repro.engine.fabric import GAP_MANIFEST_VERSION, BackoffPolicy, run_fabric
 from repro.engine.faults import (
     ENV_ATTEMPT,
     ENV_FAULTS,
     FaultInjector,
+    NetFaultInjector,
     parse_fault_specs,
 )
 from repro.engine.pool import default_workers
+from repro.engine.remote import (
+    ExecTarget,
+    ExportServer,
+    PullPolicy,
+    assign_targets,
+    pull_export,
+    shard_context,
+)
 from repro.engine.runner import (
     EngineReport,
     plan_experiment,
     run_experiment,
     run_shard,
 )
-from repro.engine.shard import ShardPlan, dump_plan_file, load_plan_file
+from repro.engine.shard import (
+    ShardPlan,
+    coverage_gaps,
+    dump_plan_file,
+    load_plan_file,
+)
 from repro.obs import (
     HeartbeatEmitter,
     TraceSink,
@@ -612,6 +631,48 @@ def _parser() -> argparse.ArgumentParser:
         help="shard cache roots to union into --cache-dir before replaying",
     )
     merge.add_argument(
+        "--from-url",
+        dest="source_urls",
+        action="append",
+        default=None,
+        metavar="URL",
+        help=(
+            "pull an exported cache over HTTP (a `serve-exports` "
+            "endpoint, checksum-verified, resumable) and union it like a "
+            "--from root (repeatable)"
+        ),
+    )
+    merge.add_argument(
+        "--pull-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "where --from-url downloads land "
+            "(default: <cache-dir>/.pulls/)"
+        ),
+    )
+    merge.add_argument(
+        "--pull-timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="per-request timeout for --from-url transfers (default: 10)",
+    )
+    merge.add_argument(
+        "--pull-attempts",
+        type=int,
+        default=4,
+        metavar="N",
+        help="attempts per file before quarantining it (default: 4)",
+    )
+    merge.add_argument(
+        "--pull-backoff",
+        type=float,
+        default=0.25,
+        metavar="SECONDS",
+        help="first retry delay; doubles per attempt, jittered (default: 0.25)",
+    )
+    merge.add_argument(
         "--compact",
         action="store_true",
         help="compact the destination cache after merging",
@@ -724,6 +785,35 @@ def _parser() -> argparse.ArgumentParser:
         ),
     )
     fabric.add_argument(
+        "--target",
+        dest="targets",
+        action="append",
+        default=None,
+        metavar="URI",
+        help=(
+            "exec target(s) shards are dealt onto round-robin (repeatable): "
+            "'local://' (default) or a 'cmd://' command template with "
+            "{plan} {shard} {num_shards} {workers} {cache_dir} {out} "
+            "{heartbeat} {kernels} {python} placeholders, e.g. "
+            "\"cmd://ssh host repro-shard {plan} {shard}\"; append "
+            "'#concurrency=N,timeout=S' for per-target caps"
+        ),
+    )
+    fabric.add_argument(
+        "--kernels",
+        choices=("auto", "vector", "object"),
+        default="auto",
+        help="kernel backend forwarded to every shard (default: auto)",
+    )
+    fabric.add_argument(
+        "--dry-run",
+        action="store_true",
+        help=(
+            "print each shard's resolved target, workdir, and command "
+            "without spawning anything"
+        ),
+    )
+    fabric.add_argument(
         "--inject",
         action="append",
         default=None,
@@ -822,6 +912,67 @@ def _parser() -> argparse.ArgumentParser:
         help=(
             "render the cache's obs counters (hits, misses, shard files "
             "loaded, records compacted) alongside the record count"
+        ),
+    )
+    cache.add_argument(
+        "--export",
+        default=None,
+        metavar="DIR",
+        help=(
+            "write a sha256-manifested export of the cache to DIR, "
+            "servable with `serve-exports` and pullable with "
+            "`merge --from-url`"
+        ),
+    )
+
+    serve = subparsers.add_parser(
+        "serve-exports",
+        help=(
+            "serve a directory of cache exports over HTTP for "
+            "`merge --from-url` (stdlib server; trusted networks only)"
+        ),
+    )
+    serve.add_argument(
+        "--root",
+        required=True,
+        metavar="DIR",
+        help="directory holding `cache --export` output (or several)",
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="bind port; 0 picks an ephemeral one and prints it (default: 0)",
+    )
+    serve.add_argument(
+        "--inject",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "arm network fault injection on served responses, e.g. "
+            "'net-truncate@0:attempts=1' (repeatable); for chaos tests only"
+        ),
+    )
+    serve.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="seed for deterministic fault corruption (default: 0)",
+    )
+    serve.add_argument(
+        "--ready-file",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write the bound URL to PATH once listening (lets scripts "
+            "wait for readiness instead of polling)"
         ),
     )
 
@@ -1108,25 +1259,31 @@ def _run_shard_plans(args, plans, index, cache) -> int:
 def _merge(args: argparse.Namespace) -> int:
     sink = None
     experiment = None
+    source_urls = args.source_urls or []
     try:
         experiment, plans = _load_plans(args.plan)
-        if not args.sources and not os.path.isdir(args.cache_dir):
-            # With --from roots, creating a fresh destination is the
-            # point; without them, a typo'd --cache-dir would silently
-            # recompute the whole experiment instead of replaying it.
+        if not args.sources and not source_urls and not os.path.isdir(args.cache_dir):
+            # With --from roots or --from-url endpoints, creating a
+            # fresh destination is the point; without them, a typo'd
+            # --cache-dir would silently recompute the whole experiment
+            # instead of replaying it.
             raise ValueError(
                 f"cache root {args.cache_dir!r} does not exist and no "
-                "--from roots were given; nothing to merge"
+                "--from roots or --from-url endpoints were given; "
+                "nothing to merge"
             )
         sink = _attach_trace(args)
         cache = TrialCache(args.cache_dir)
         added = 0
         for root in args.sources:
             added += cache.merge(root)
+        added, degraded = _merge_pulls(args, source_urls, cache, added)
     except (ValueError, OSError) as err:
         _detach_trace(sink)
         return _emit_error(args, "merge", err, 2, experiment)
     try:
+        if degraded is not None:
+            return _merge_degraded(args, experiment, plans, cache, added, degraded)
         return _merge_replay(args, experiment, plans, cache, added)
     except Exception as err:
         return _emit_error(args, "merge", err, 3, experiment)
@@ -1134,10 +1291,87 @@ def _merge(args: argparse.Namespace) -> int:
         _detach_trace(sink)
 
 
-def _merge_replay(args, experiment, plans, cache, added) -> int:
+def _merge_pulls(args, source_urls, cache, added):
+    """Pull each --from-url endpoint and union what verified.
+
+    Returns ``(added, degraded)`` where ``degraded`` is None on a fully
+    clean pull and otherwise the ``{"failed_sources", "quarantined"}``
+    accounting a gap manifest needs.  Partial results still merge —
+    quarantined files sit in an ignored subdirectory, so a dest with
+    one bad file contributes its good ones.
+    """
+    if not source_urls:
+        return added, None
+    policy = PullPolicy(
+        timeout=args.pull_timeout,
+        max_attempts=args.pull_attempts,
+        backoff_base=args.pull_backoff,
+    )
+    pull_root = args.pull_dir or os.path.join(args.cache_dir, ".pulls")
+    failed_sources = []
+    quarantined = []
+    for index, url in enumerate(source_urls):
+        dest = os.path.join(pull_root, f"src-{index}")
+        result = pull_export(url, dest, policy=policy)
+        print(result.summary())
+        if result.error is not None:
+            failed_sources.append({"url": url, "cause": result.error})
+            continue
+        for file in result.quarantined:
+            quarantined.append(
+                {
+                    "url": url,
+                    "file": file.name,
+                    "cause": file.cause,
+                    "quarantine": os.path.join(dest, "quarantine", file.name),
+                }
+            )
+        added += cache.merge(dest)
+    if not failed_sources and not quarantined:
+        return added, None
+    return added, {"failed_sources": failed_sources, "quarantined": quarantined}
+
+
+def _merge_degraded(args, experiment, plans, cache, added, degraded) -> int:
+    """Exit 4 with a gap manifest instead of replaying a holey grid.
+
+    The same degradation contract as the fabric's: everything that
+    verified is merged and durable, the holes are machine-readable in
+    ``<cache-dir>/gaps.json``, and nothing quarantined ever entered
+    the cache.
+    """
+    trials_total, trials_missing, specs = coverage_gaps(plans, cache.contains)
+    gap = {
+        "version": GAP_MANIFEST_VERSION,
+        "experiment": experiment,
+        "num_shards": plans[0].num_shards,
+        "trials_total": trials_total,
+        "trials_present": trials_total - trials_missing,
+        "trials_missing": trials_missing,
+        "failed_sources": degraded["failed_sources"],
+        "quarantined": degraded["quarantined"],
+        "specs": specs,
+    }
+    gap_path = os.path.join(args.cache_dir, "gaps.json")
+    atomic_write_text(gap_path, json.dumps(gap, indent=2, sort_keys=True) + "\n")
     print(
-        f"merged {len(args.sources)} shard root(s) into {args.cache_dir}: "
-        f"{added} new record(s)"
+        f"merged {added} new record(s) into {args.cache_dir}; "
+        f"{len(degraded['failed_sources'])} source(s) unreachable, "
+        f"{len(degraded['quarantined'])} file(s) quarantined, "
+        f"{trials_missing} trial(s) missing"
+    )
+    print(f"gap manifest: {gap_path}", file=sys.stderr)
+    return 4
+
+
+def _merge_replay(args, experiment, plans, cache, added) -> int:
+    pulled = len(args.source_urls or [])
+    pulled_note = f" and {pulled} pulled export(s)" if pulled else ""
+    torn = cache.stats.torn_lines
+    torn_note = f" ({torn} torn line(s) skipped)" if torn else ""
+    print(
+        f"merged {len(args.sources)} shard root(s){pulled_note} into "
+        f"{args.cache_dir}: {added} new record(s){torn_note}"
     )
     if args.compact:
         kept, dropped = cache.compact()
@@ -1282,7 +1516,8 @@ def _render_heartbeats(directory: str) -> str:
 def _fabric(args: argparse.Namespace) -> int:
     experiment = None
     try:
-        experiment, _plans = _load_plans(args.plan)
+        experiment, plans = _load_plans(args.plan)
+        targets = [ExecTarget.parse(uri) for uri in args.targets or []]
         faults = []
         for text in args.inject or []:
             faults.extend(parse_fault_specs(text))
@@ -1291,6 +1526,8 @@ def _fabric(args: argparse.Namespace) -> int:
         )
     except (ValueError, OSError) as err:
         return _emit_error(args, "fabric", err, 2, experiment)
+    if args.dry_run:
+        return _fabric_dry_run(args, plans, targets)
     try:
         result = run_fabric(
             args.plan,
@@ -1303,6 +1540,8 @@ def _fabric(args: argparse.Namespace) -> int:
             backoff=backoff,
             faults=faults,
             retry_failed=args.retry_failed,
+            targets=targets,
+            kernels=args.kernels,
         )
     except Exception as err:
         return _emit_error(args, "fabric", err, 3, experiment)
@@ -1324,6 +1563,60 @@ def _fabric(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fabric_dry_run(args, plans, targets) -> int:
+    """Print each shard's resolved launch plan without spawning.
+
+    The exact context and command :func:`run_fabric` would use — the
+    way to sanity-check a ``cmd://`` template (quoting, placeholder
+    coverage, host assignment) before burning attempts on it.
+    """
+    num_shards = plans[0].num_shards
+    work_dir = args.work_dir or args.plan + ".fabric"
+    target_by_shard = assign_targets(num_shards, targets)
+    for i in range(num_shards):
+        target = target_by_shard[i]
+        ctx = shard_context(
+            args.plan,
+            i,
+            num_shards,
+            args.cache_dir,
+            work_dir,
+            shard_workers=args.shard_workers,
+            kernels=args.kernels,
+        )
+        print(f"shard {i}/{num_shards}: target {target.uri}")
+        print(f"  workdir {work_dir}")
+        print(f"  out     {ctx['out']}")
+        print(f"  command {shlex.join(target.command(ctx))}")
+    return 0
+
+
+def _serve_exports(args: argparse.Namespace) -> int:
+    try:
+        specs = []
+        for text in args.inject or []:
+            specs.extend(parse_fault_specs(text))
+        injector = (
+            NetFaultInjector(specs, seed=args.fault_seed) if specs else None
+        )
+        server = ExportServer(
+            args.root, host=args.host, port=args.port, injector=injector
+        )
+    except (ValueError, OSError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    print(f"serving {args.root} at {server.url}", flush=True)
+    if args.ready_file:
+        atomic_write_text(args.ready_file, server.url + "\n")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
 def _cache(args: argparse.Namespace) -> int:
     try:
         if not os.path.isdir(args.cache_dir):
@@ -1335,7 +1628,13 @@ def _cache(args: argparse.Namespace) -> int:
                 f"compacted {args.cache_dir}: kept {kept} record(s), "
                 f"dropped {dropped} stale line(s)"
             )
-        if args.status or not args.compact:
+        if args.export:
+            manifest = cache.export_dir(args.export)
+            print(
+                f"exported {len(manifest['files'])} file(s), "
+                f"{manifest['records_total']} record(s) to {args.export}"
+            )
+        if args.status or not (args.compact or args.export):
             cache.load_all()
             print(f"{args.cache_dir}: {len(cache)} record(s) on disk")
         if args.status:
@@ -1431,6 +1730,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _stats(args)
     if args.command == "cache":
         return _cache(args)
+    if args.command == "serve-exports":
+        return _serve_exports(args)
     if args.command == "list":
         print(format_catalog())
         return 0

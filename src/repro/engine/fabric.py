@@ -42,7 +42,6 @@ import os
 import random
 import signal
 import subprocess
-import sys
 import time
 import zlib
 from dataclasses import dataclass, field
@@ -50,8 +49,9 @@ from typing import Any, Callable, Sequence
 
 from repro.engine.cache import TrialCache
 from repro.engine.faults import ENV_ATTEMPT, ENV_FAULTS, FaultSpec
+from repro.engine.remote import ExecTarget, assign_targets, shard_context
 from repro.engine.runner import EngineReport, run_experiment
-from repro.engine.shard import ShardPlan, load_plan_file
+from repro.engine.shard import ShardPlan, coverage_gaps, load_plan_file
 from repro.obs import LivenessMonitor, get_telemetry
 from repro.util.fsio import atomic_write_text
 
@@ -442,6 +442,8 @@ class _ShardProc:
     heartbeat_path: str
     log_path: str
     root: str
+    target: ExecTarget | None = None
+    started: float = field(default=0.0)
     last_renew: float = field(default=0.0)
 
 
@@ -458,6 +460,30 @@ def _kill_tree(proc: subprocess.Popen) -> None:
         proc.wait(timeout=10.0)
     except (subprocess.TimeoutExpired, OSError):  # pragma: no cover - defensive
         pass
+
+
+def _sweep_shard_segments(pid: int) -> None:
+    """Best-effort cleanup of shm cores a dead shard exporter leaked.
+
+    A shard killed mid-chunk (fault injection, hang timeout, target
+    timeout, a crash) never reaches ``release_core``, so its
+    ``/dev/shm/repro-core-<pid>-*`` segments outlive it.  The launcher
+    is the one process that reliably observes the death, so it sweeps;
+    for a ``cmd://`` wrapper the pid is the wrapper's, in which case
+    the prefix simply matches nothing local and this is a no-op (a
+    truly remote shard's segments live on the remote host anyway).
+    """
+    try:
+        from repro.kernels.shm import sweep_leaked_cores
+
+        swept = sweep_leaked_cores(pid)
+    except Exception:  # pragma: no cover - defensive
+        return
+    if swept:
+        _LOG.warning(
+            "swept %d leaked shm core segment(s) from dead shard pid %d",
+            len(swept), pid,
+        )
 
 
 def _cause_from_log(log_path: str, returncode: int) -> str:
@@ -519,25 +545,7 @@ def _gap_manifest(
     probe: TrialCache,
 ) -> dict[str, Any] | None:
     """The machine-readable hole list, or None when the grid is whole."""
-    specs = []
-    trials_total = 0
-    trials_missing = 0
-    for plan in plans:
-        trials = plan.spec.trials()
-        trials_total += len(trials)
-        missing = [
-            i for i, trial in enumerate(trials) if not probe.contains(trial.key())
-        ]
-        trials_missing += len(missing)
-        if missing:
-            specs.append(
-                {
-                    "spec": plan.spec.name,
-                    "plan_key": plan.key(),
-                    "trials_total": len(trials),
-                    "missing_indices": missing,
-                }
-            )
+    trials_total, trials_missing, specs = coverage_gaps(plans, probe.contains)
     if not trials_missing:
         return None
     return {
@@ -572,18 +580,31 @@ def run_fabric(
     faults: Sequence[FaultSpec | str] = (),
     retry_failed: bool = False,
     python: str | None = None,
+    targets: Sequence[ExecTarget | str] = (),
+    kernels: str = "auto",
 ) -> FabricResult:
     """Drive every shard of a plan file to completion, or degrade loudly.
 
-    The launcher loop: lease the next pending shard, spawn ``python -m
-    repro.engine run-shard`` for it (private ``--cache-out`` root,
-    heartbeat file, structured errors), watch heartbeats and exit
-    codes, verify each "successful" shard actually wrote every trial it
-    owed, and reschedule failures with exponential backoff until done
-    or out of attempts.  State lives in ``work_dir`` (default:
-    ``<plan_path>.fabric/``): the lease board, per-shard cache roots,
-    heartbeat files, and per-attempt logs — a restarted launcher
-    resumes from the board and relaunches nothing that finished.
+    The launcher loop: lease the next pending shard, spawn its
+    :class:`~repro.engine.remote.ExecTarget` command for it (default
+    ``local://``, i.e. ``python -m repro.engine run-shard`` with a
+    private ``--cache-out`` root, heartbeat file, structured errors),
+    watch heartbeats and exit codes, verify each "successful" shard
+    actually wrote every trial it owed, and reschedule failures with
+    exponential backoff until done or out of attempts.  State lives in
+    ``work_dir`` (default: ``<plan_path>.fabric/``): the lease board,
+    per-shard cache roots, heartbeat files, and per-attempt logs — a
+    restarted launcher resumes from the board and relaunches nothing
+    that finished.
+
+    ``targets`` deals shards round-robin onto exec targets
+    (:func:`~repro.engine.remote.assign_targets`); leases, heartbeat
+    liveness, verification, and gap accounting are identical across
+    targets, with two target-local additions: a target's
+    ``concurrency`` caps its simultaneous shards under the global
+    ``max_parallel``, and its ``timeout`` wall-clock-kills an attempt
+    that outstays it (the hung-wrapper case a heartbeat may not catch
+    when the wrapper never starts the shard at all).
 
     Afterward every shard root that exists — including a failed
     shard's partial output — merges into ``cache_dir``.  A complete
@@ -593,13 +614,18 @@ def run_fabric(
 
     ``faults`` forwards :mod:`repro.engine.faults` specs to every
     shard subprocess via the environment; the spec's shard index and
-    the stamped attempt number decide where they fire.
+    the stamped attempt number decide where they fire.  Whenever a
+    shard dies without exiting cleanly, the launcher sweeps the shared-
+    memory core segments its exporter leaked (``--kernels vector``
+    shards export topology cores the crashed process can no longer
+    release).
     """
     start = time.perf_counter()
     telemetry = get_telemetry()
     with open(plan_path, "r", encoding="utf-8") as handle:
         experiment, plans = load_plan_file(json.load(handle))
     num_shards = plans[0].num_shards
+    target_by_shard = assign_targets(num_shards, targets)
     if work_dir is None:
         work_dir = plan_path + ".fabric"
     os.makedirs(work_dir, exist_ok=True)
@@ -635,25 +661,26 @@ def run_fabric(
         return os.path.join(work_dir, f"shard-{i}")
 
     def spawn(i: int, attempt: int) -> _ShardProc:
-        heartbeat_path = os.path.join(work_dir, f"shard-{i}.hb.json")
+        target = target_by_shard[i]
+        ctx = shard_context(
+            plan_path,
+            i,
+            num_shards,
+            cache_dir,
+            work_dir,
+            shard_workers=shard_workers,
+            kernels=kernels,
+            attempt=attempt,
+            python=python,
+        )
+        heartbeat_path = ctx["heartbeat"]
         try:
             # A stale beat from a previous attempt must not look live.
             os.unlink(heartbeat_path)
         except OSError:
             pass
         log_path = os.path.join(work_dir, f"shard-{i}.attempt-{attempt}.log")
-        cmd = [
-            python or sys.executable,
-            "-m", "repro.engine", "run-shard",
-            "--plan", plan_path,
-            "--shard", f"{i}/{num_shards}",
-            "--workers", str(shard_workers),
-            "--cache-dir", cache_dir,
-            "--cache-out", shard_root(i),
-            "--heartbeat", heartbeat_path,
-            "--json-errors",
-            "-q",
-        ]
+        cmd = target.command(ctx)
         env = os.environ.copy()
         env[ENV_ATTEMPT] = str(attempt)
         if fault_strings:
@@ -675,7 +702,9 @@ def run_fabric(
                 env=env,
                 start_new_session=True,  # its pool workers die with it
             )
-        _LOG.info("shard %d attempt %d: pid %d", i, attempt, proc.pid)
+        _LOG.info(
+            "shard %d attempt %d: pid %d on %s", i, attempt, proc.pid, target.uri
+        )
         return _ShardProc(
             shard_index=i,
             attempt=attempt,
@@ -683,6 +712,8 @@ def run_fabric(
             heartbeat_path=heartbeat_path,
             log_path=log_path,
             root=shard_root(i),
+            target=target,
+            started=time.monotonic(),
         )
 
     running: dict[int, _ShardProc] = {}
@@ -713,12 +744,30 @@ def run_fabric(
         for i, sp in list(running.items()):
             returncode = sp.proc.poll()
             if returncode is None:
+                dead_pid = sp.proc.pid
+                if (
+                    sp.target is not None
+                    and sp.target.timeout is not None
+                    and now - sp.started > sp.target.timeout
+                ):
+                    _kill_tree(sp.proc)
+                    running.pop(i)
+                    monitor.forget(i)
+                    telemetry.incr("fabric.target_timeouts")
+                    _sweep_shard_segments(dead_pid)
+                    attempt_failed(
+                        i,
+                        f"target timeout: exceeded {sp.target.timeout:.1f}s "
+                        f"on {sp.target.uri}",
+                    )
+                    continue
                 monitor.observe(i)
                 if monitor.stale(i):
                     _kill_tree(sp.proc)
                     running.pop(i)
                     monitor.forget(i)
                     telemetry.incr("fabric.hangs_detected")
+                    _sweep_shard_segments(dead_pid)
                     attempt_failed(
                         i,
                         f"hung: no heartbeat progress in "
@@ -745,6 +794,9 @@ def run_fabric(
                         "after exit 0 (corrupt or torn output)",
                     )
             else:
+                # A clean exit ran release_core; any other death may
+                # have leaked exported topology segments.
+                _sweep_shard_segments(sp.proc.pid)
                 attempt_failed(i, _cause_from_log(sp.log_path, returncode))
         # -- launch what's eligible ------------------------------------
         now = time.monotonic()
@@ -753,6 +805,15 @@ def run_fabric(
                 break
             if not_before.get(i, float("-inf")) > now:
                 continue
+            target = target_by_shard[i]
+            if target.concurrency is not None:
+                on_target = sum(
+                    1
+                    for sp in running.values()
+                    if target_by_shard[sp.shard_index] is target
+                )
+                if on_target >= target.concurrency:
+                    continue
             lease = board.acquire(i, owner, lease_ttl)
             sp = spawn(i, lease.attempts)
             launched += 1

@@ -32,7 +32,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass
-from typing import Any, Sequence
+from typing import Any, Callable, Sequence
 
 from repro.engine.spec import CACHE_VERSION, ExperimentSpec
 
@@ -40,6 +40,7 @@ __all__ = [
     "PLAN_VERSION",
     "ShardManifest",
     "ShardPlan",
+    "coverage_gaps",
     "dump_plan_file",
     "load_plan_file",
     "spec_from_payload",
@@ -264,6 +265,40 @@ class ShardManifest:
     @classmethod
     def from_json(cls, text: str) -> "ShardManifest":
         return cls.from_dict(json.loads(text))
+
+
+def coverage_gaps(
+    plans: Sequence[ShardPlan], contains: Callable[[str], bool]
+) -> tuple[int, int, list[dict[str, Any]]]:
+    """Probe a plan's full trial grid against a presence predicate.
+
+    Returns ``(trials_total, trials_missing, spec_entries)`` where each
+    entry names a spec with holes and its exact missing grid indices —
+    the common core of every gap manifest (the fabric's after failed
+    shards, the merge's after failed pulls).  ``contains`` is typically
+    ``TrialCache.contains``; because trial keys are content hashes, the
+    probe is exact regardless of which host computed what.
+    """
+    spec_entries: list[dict[str, Any]] = []
+    trials_total = 0
+    trials_missing = 0
+    for plan in plans:
+        trials = plan.spec.trials()
+        trials_total += len(trials)
+        missing = [
+            i for i, trial in enumerate(trials) if not contains(trial.key())
+        ]
+        trials_missing += len(missing)
+        if missing:
+            spec_entries.append(
+                {
+                    "spec": plan.spec.name,
+                    "plan_key": plan.key(),
+                    "trials_total": len(trials),
+                    "missing_indices": missing,
+                }
+            )
+    return trials_total, trials_missing, spec_entries
 
 
 # -- plan files ---------------------------------------------------------

@@ -44,6 +44,7 @@ __all__ = [
     "attached_core_words",
     "export_graph",
     "release_core",
+    "sweep_leaked_cores",
 ]
 
 _WORD = 8  # bytes per int64 table entry
@@ -190,6 +191,50 @@ def attached_core_words() -> int:
     for graph, _ in _ATTACHED.values():
         total += core_words(graph)
     return total
+
+
+def sweep_leaked_cores(pid: int | None = None) -> list[str]:
+    """Unlink ``repro-core-*`` segments a crashed exporter left behind.
+
+    A shard killed mid-chunk never reaches :func:`release_core`, so its
+    segments persist in ``/dev/shm`` until someone unlinks them.  The
+    fabric launcher calls this with the dead shard's pid after every
+    unclean death; ``pid=None`` sweeps every ``repro-core-*`` segment
+    regardless of owner (operator cleanup).  Segments this process
+    exported itself are skipped — they are live, not leaked.  Returns
+    the names unlinked.
+    """
+    prefix = "repro-core-" + (f"{pid}-" if pid is not None else "")
+    try:
+        names = os.listdir("/dev/shm")
+    except OSError:
+        return []
+    swept: list[str] = []
+    for name in sorted(names):
+        if not name.startswith(prefix) or name in _EXPORTED:
+            continue
+        try:
+            seg = shared_memory.SharedMemory(name=name)
+        except (FileNotFoundError, OSError):
+            continue
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(seg._name, "shared_memory")
+        except Exception:
+            pass
+        try:
+            seg.close()
+        except Exception:
+            pass
+        try:
+            seg.unlink()
+        except Exception:
+            continue
+        swept.append(name)
+    if swept:
+        get_telemetry().incr("shm.cores_swept", len(swept))
+    return swept
 
 
 def release_core(handle: CoreHandle | tuple) -> None:

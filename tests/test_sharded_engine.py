@@ -358,8 +358,8 @@ class TestCacheAlgebra:
         out = str(tmp_path / "dump.jsonl")
         assert cache.export(out) == 3
         dest = TrialCache(str(tmp_path / "dest"))
-        assert dest.import_file(out) == 3
-        assert dest.import_file(out) == 0  # idempotent
+        assert dest.import_file(out) == (3, 0)
+        assert dest.import_file(out) == (0, 0)  # idempotent
         for key, record in items:
             assert dest.get(key) == record
 
@@ -389,7 +389,8 @@ class TestCacheAlgebra:
         with open(out, "a", encoding="utf-8") as handle:
             handle.write('{"key": "bb2", "record": {"x"')  # killed mid-write
         dest = TrialCache(str(tmp_path / "dest"))
-        assert dest.import_file(out) == 1
+        assert dest.import_file(out) == (1, 1)  # one good, one torn
+        assert dest.stats.torn_lines == 1
         assert dest.get("aa1") == {"x": 1}
         # The same torn line inside a shard file is skipped on load.
         shard = os.path.join(str(tmp_path / "dest"), "aa.jsonl")
