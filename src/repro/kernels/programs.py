@@ -1,0 +1,238 @@
+"""Array twins of the repo's node programs.
+
+Each class here is the :class:`~repro.local.simulator.ArrayProgram`
+counterpart of an object node program — the parity node of
+``repro.problems.trivial``, the Linial reduction node of
+``repro.problems.coloring``, and the two flood probes of
+``repro.local.flood`` — producing bit-identical results, halt rounds,
+and traces through :func:`repro.kernels.engine.run_array_program`.
+
+Import only behind :func:`repro.kernels.vector_enabled`: numpy loads at
+module import.  The object programs stay the oracle; these only buy
+time.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.kernels.engine import RoundInbox, SlotLayout, segment_reduce
+
+__all__ = [
+    "EccFloodProgram",
+    "LinialProgram",
+    "MinFloodProgram",
+    "ParityProgram",
+]
+
+_I64 = np.int64
+_I64_MAX = np.iinfo(np.int64).max
+_POP8 = np.array([bin(i).count("1") for i in range(256)], dtype=_I64)
+
+
+def _popcount_rows(words: np.ndarray) -> np.ndarray:
+    """Per-row popcount of a ``(k, w)`` uint64 bitset matrix."""
+    if words.size == 0:
+        return np.zeros(words.shape[0], dtype=_I64)
+    bytes_view = np.ascontiguousarray(words).view(np.uint8)
+    return _POP8[bytes_view.reshape(words.shape[0], -1)].sum(axis=1)
+
+
+class ParityProgram:
+    """Array twin of ``_ParityNode``: halt at round 0 with deg mod 2."""
+
+    def init_all(self, instance: Any, layout: SlotLayout) -> None:
+        self._parity = layout.counts % 2
+
+    def step_all(self, round_index: int, inbox: RoundInbox | None):
+        return None, np.ones(self._parity.shape[0], dtype=bool)
+
+    def results_all(self) -> list[Any]:
+        return self._parity.tolist()
+
+
+class MinFloodProgram:
+    """Array twin of :class:`repro.local.flood.MinIdFloodNode`.
+
+    Forward the smallest value seen; halt the round after it stops
+    changing.  Halting is staggered (nodes far from the minimum run
+    longer), so this program exercises active-set compaction.
+    """
+
+    def init_all(self, instance: Any, layout: SlotLayout) -> None:
+        self._layout = layout
+        self._value = np.arange(layout.num_nodes, dtype=_I64)
+        self._changed = np.ones(layout.num_nodes, dtype=bool)
+
+    def step_all(self, round_index: int, inbox: RoundInbox | None):
+        if inbox is not None:
+            flat = np.where(
+                inbox.sent[inbox.slots], inbox.values[inbox.slots], _I64_MAX
+            )
+            best = segment_reduce(np.minimum, flat, inbox.lengths, _I64_MAX)
+            own = self._value[inbox.active]
+            best = np.minimum(best, own)
+            self._changed[inbox.active] = best != own
+            self._value[inbox.active] = best
+        return self._value[self._layout.node_of], ~self._changed
+
+    def results_all(self) -> list[Any]:
+        return self._value.tolist()
+
+
+class EccFloodProgram:
+    """Array twin of :class:`repro.local.flood.FloodNode`.
+
+    The object node floods frozensets of ids; here each heard/fresh set
+    is a row of packed uint64 bitset words, the per-node union is a
+    segmented bitwise-or, and "heard everyone" is a running popcount —
+    same delta-flood semantics, same ``done_at`` results.
+    """
+
+    def init_all(self, instance: Any, layout: SlotLayout) -> None:
+        self._layout = layout
+        n = layout.num_nodes
+        self._n = n
+        words = max(1, (n + 63) // 64)
+        bits = np.zeros((n, words), dtype=np.uint64)
+        idx = np.arange(n)
+        bits[idx, idx // 64] = np.uint64(1) << (idx % 64).astype(np.uint64)
+        self._heard = bits
+        self._fresh = bits.copy()
+        self._count = np.ones(n, dtype=_I64)
+        self._done_at = np.full(n, -1, dtype=_I64)
+        if n == 1:
+            self._done_at[0] = 0
+
+    def step_all(self, round_index: int, inbox: RoundInbox | None):
+        if inbox is not None:
+            flat = np.where(
+                inbox.sent[inbox.slots, None],
+                inbox.values[inbox.slots],
+                np.uint64(0),
+            )
+            incoming = segment_reduce(
+                np.bitwise_or, flat, inbox.lengths, np.uint64(0)
+            )
+            act = inbox.active
+            new = incoming & ~self._heard[act]
+            self._heard[act] |= new
+            self._fresh[act] = new
+            self._count[act] += _popcount_rows(new)
+            # the object node sets done_at = message_round + 1; this
+            # step processes the messages of round_index - 1
+            done = act[self._count[act] == self._n]
+            self._done_at[done] = round_index
+        return self._fresh[self._layout.node_of], self._done_at >= 0
+
+    def results_all(self) -> list[Any]:
+        return [r if r >= 0 else None for r in self._done_at.tolist()]
+
+
+def _poly_points(colors: np.ndarray, q: int, d: int) -> np.ndarray:
+    """Row ``i`` is ``polynomial_set(colors[i], q, d)`` — the graph of
+    the color's degree-d polynomial over GF(q), ordered by x."""
+    value = colors.astype(_I64, copy=True)
+    coeffs = np.empty((colors.shape[0], d + 1), dtype=_I64)
+    for j in range(d + 1):
+        coeffs[:, j] = value % q
+        value //= q
+    x = np.arange(q, dtype=_I64)
+    powers = np.ones((d + 1, q), dtype=_I64)
+    for j in range(1, d + 1):
+        powers[j] = (powers[j - 1] * x) % q
+    return x * q + (coeffs @ powers) % q
+
+
+class LinialProgram:
+    """Array twin of ``_LinialNode``: the whole Linial reduction.
+
+    Reduction rounds evaluate every node's polynomial cover-free set in
+    one ``(nodes, q)`` matrix, block neighbor sets through a boolean
+    ``(nodes, q^2)`` scatter, and pick each node's first unblocked own
+    point; elimination rounds recolor the eliminated class from a
+    ``(selected, target)`` taken-color bitmap.  Same schedule, same
+    first-free tie-breaks, same total round count as the object node.
+    """
+
+    def __init__(self, schedule, target: int, id_space: int):
+        self._schedule = list(schedule)
+        self._target = target
+        self._id_space = id_space
+
+    def init_all(self, instance: Any, layout: SlotLayout) -> None:
+        self._layout = layout
+        self._colors = np.asarray(instance.ids.as_list(), dtype=_I64) - 1
+        schedule = self._schedule
+        self._palette_after = (
+            schedule[-1][0] ** 2 if schedule else self._id_space
+        )
+        self._phase_splits = len(schedule)
+        self._total_rounds = self._phase_splits + max(
+            self._palette_after - self._target, 0
+        )
+
+    def step_all(self, round_index: int, inbox: RoundInbox | None):
+        layout = self._layout
+        if inbox is not None:
+            self._receive(round_index - 1, inbox)
+        if round_index >= self._total_rounds:
+            return None, np.ones(layout.num_nodes, dtype=bool)
+        return self._colors[layout.node_of], None
+
+    def _receive(self, step: int, inbox: RoundInbox) -> None:
+        layout = self._layout
+        act = inbox.active
+        slots = inbox.slots
+        # per-slot neighbor colors of active receivers; self-loop slots
+        # are excluded like the object node's neighbor(v, port) != v
+        valid = inbox.sent[slots] & layout.not_loop[slots]
+        recv_row = np.repeat(
+            np.arange(act.shape[0], dtype=_I64), inbox.lengths
+        )
+        flat = inbox.values[slots]
+        if step < self._phase_splits:
+            q, d = self._schedule[step]
+            own = self._colors[act]
+            if np.any(valid & (flat == own[recv_row])):
+                raise ValueError(
+                    "reduce_color requires a proper input coloring"
+                )
+            rows = recv_row[valid]
+            nbr_points = _poly_points(flat[valid], q, d)
+            blocked = np.zeros((act.shape[0], q * q), dtype=bool)
+            blocked[np.repeat(rows, q), nbr_points.reshape(-1)] = True
+            own_points = _poly_points(own, q, d)
+            free = ~blocked[
+                np.arange(act.shape[0], dtype=_I64)[:, None], own_points
+            ]
+            covered = free.any(axis=1)
+            if not covered.all():
+                bad = int(np.flatnonzero(~covered)[0])
+                neighbors = int(np.count_nonzero(rows == bad))
+                raise ValueError(
+                    f"cover-freeness violated: q={q}, d={d}, "
+                    f"{neighbors} neighbors"
+                )
+            self._colors[act] = own_points[
+                np.arange(act.shape[0], dtype=_I64), free.argmax(axis=1)
+            ]
+        else:
+            eliminated = self._palette_after - 1 - (step - self._phase_splits)
+            sel_rows = np.flatnonzero(self._colors[act] == eliminated)
+            if sel_rows.size == 0:
+                return
+            sel_of_row = np.full(act.shape[0], -1, dtype=_I64)
+            sel_of_row[sel_rows] = np.arange(sel_rows.shape[0], dtype=_I64)
+            mask = valid & (sel_of_row[recv_row] >= 0) & (flat < self._target)
+            taken = np.zeros((sel_rows.shape[0], self._target), dtype=bool)
+            taken[sel_of_row[recv_row[mask]], flat[mask]] = True
+            free = ~taken
+            if not free.any(axis=1).all():
+                raise ValueError("min() arg is an empty sequence")
+            self._colors[act[sel_rows]] = free.argmax(axis=1)
+
+    def results_all(self) -> list[Any]:
+        return self._colors.tolist()

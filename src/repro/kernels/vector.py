@@ -95,12 +95,48 @@ def _discoveries(
     return (stamp[targets] == idx) & unvisited[targets]
 
 
+#: Degree-bucketed expansion pays one broadcast gather per distinct
+#: degree; past this many buckets the cumsum/repeat path wins back.
+_MAX_DEGREE_BUCKETS = 16
+
+
+def _expand_bucketed(
+    off: np.ndarray,
+    counts: np.ndarray,
+    degrees: np.ndarray,
+    frontier: np.ndarray,
+) -> np.ndarray:
+    """Bucketed :func:`_expand`: group the frontier by degree, emit each
+    bucket with one ``(members, d)`` broadcast, and scatter the blocks
+    into the frontier-major port-minor output positions — identical
+    output to the general expansion, without its cumsum/repeat passes.
+    """
+    frontier_counts = counts[frontier]
+    total = int(frontier_counts.sum())
+    out = np.empty(total, dtype=_I64)
+    ends = np.cumsum(frontier_counts)
+    out_starts = ends - frontier_counts
+    for d in degrees.tolist():
+        if d == 0:
+            continue
+        members = np.flatnonzero(frontier_counts == d)
+        if members.size == 0:
+            continue
+        ports = np.arange(d, dtype=_I64)
+        block = off[frontier[members]][:, None] + ports
+        positions = out_starts[members][:, None] + ports
+        out[positions.reshape(-1)] = block.reshape(-1)
+    return out
+
+
 def _frontier_expander(off: np.ndarray):
     """Per-run ``frontier -> flat slots`` function.
 
     Regular graphs (every instance family this repo benchmarks —
     cubic, torus, cycle) take a two-op broadcast; irregular graphs
-    fall back to the general cumsum/repeat :func:`_expand`.
+    with few distinct degrees get a per-bucket single gather; only
+    graphs with many distinct degrees fall back to the general
+    cumsum/repeat :func:`_expand`.
     """
     counts = np.diff(off)
     if counts.size and int(counts.min()) == int(counts.max()):
@@ -110,6 +146,9 @@ def _frontier_expander(off: np.ndarray):
             return (off[frontier][:, None] + ports).reshape(-1)
 
         return expand
+    degrees = np.unique(counts)
+    if degrees.size and degrees.size <= _MAX_DEGREE_BUCKETS:
+        return lambda frontier: _expand_bucketed(off, counts, degrees, frontier)
     return lambda frontier: _expand(off, frontier)
 
 
@@ -132,7 +171,9 @@ def _frontier_scanner(off: np.ndarray, table: np.ndarray):
             return matrix.take(frontier, axis=0).reshape(-1)
 
         return scan
-    return lambda frontier: table.take(_expand(off, frontier))
+    # irregular: gather through the (possibly bucketed) slot expansion
+    expand = _frontier_expander(off)
+    return lambda frontier: table.take(expand(frontier))
 
 
 def bfs_distances(

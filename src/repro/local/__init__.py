@@ -13,6 +13,7 @@ from repro.local.distances import (
     induced_subgraph,
     multi_source_bfs,
 )
+from repro.local.flood import FloodNode, MinIdFloodNode
 from repro.local.graphs import Edge, HalfEdge, PortGraph
 from repro.local.identifiers import (
     IdAssignment,
@@ -38,7 +39,9 @@ __all__ = [
     "induced_subgraph",
     "multi_source_bfs",
     "Edge",
+    "FloodNode",
     "HalfEdge",
+    "MinIdFloodNode",
     "PortGraph",
     "IdAssignment",
     "random_ids",

@@ -1,0 +1,94 @@
+"""Flooding node programs: the engine's reference workloads.
+
+Two classic probes, each shipped in both execution models — an object
+node program for the oracle loop and an
+:class:`~repro.local.simulator.ArrayProgram` twin (discovered via the
+``array_program`` class attribute) for the batched path:
+
+* :class:`FloodNode` — delta-floods identifiers and counts the rounds
+  until it has heard from everyone, i.e. its eccentricity.  The tests'
+  diameter probe since PR 2, now a library citizen.
+* :class:`MinIdFloodNode` — forwards the smallest value seen and halts
+  the round after it stabilizes.  Halting is staggered (distance to the
+  minimum), making it the canonical active-set-compaction workload and
+  the gated throughput case in ``benchmarks/bench_simulator_throughput``.
+"""
+
+from __future__ import annotations
+
+from repro.local.algorithm import Instance
+
+__all__ = ["FloodNode", "MinIdFloodNode"]
+
+
+class FloodNode:
+    """Counts rounds until it has heard from everyone (diameter probe).
+
+    Floods deltas: each round a node forwards only what it learned the
+    round before.  An id at distance d still arrives in exactly d
+    rounds, so heard sets, halting rounds, and results are identical to
+    re-broadcasting the full heard set — but messages stay
+    frontier-sized instead of ball-sized.
+    """
+
+    def __init__(self, v: int, instance: Instance):
+        self.v = v
+        self.n = instance.graph.num_nodes
+        self.degree = instance.graph.degree(v)
+        self.heard = {v}
+        self.fresh = frozenset((v,))
+        self.done_at: int | None = 0 if self.n == 1 else None
+
+    @staticmethod
+    def array_program():
+        from repro.kernels.programs import EccFloodProgram
+
+        return EccFloodProgram()
+
+    def outgoing(self, round_index):
+        if self.done_at is not None:
+            return None
+        return [self.fresh] * self.degree
+
+    def receive(self, round_index, inbox):
+        heard = self.heard
+        fresh = set().union(*(m for m in inbox if m)) - heard
+        heard |= fresh
+        self.fresh = frozenset(fresh)
+        if len(heard) == self.n:
+            self.done_at = round_index + 1
+
+    def result(self):
+        return self.done_at
+
+
+class MinIdFloodNode:
+    """Forward the smallest value seen, halt once it stabilizes.
+
+    Converges on every graph (each component settles on its minimum),
+    with per-node halt rounds staggered by distance to the minimum.
+    """
+
+    def __init__(self, v: int, instance: Instance):
+        self.value = v
+        self.deg = instance.graph.degree(v)
+        self.changed = True
+
+    @staticmethod
+    def array_program():
+        from repro.kernels.programs import MinFloodProgram
+
+        return MinFloodProgram()
+
+    def outgoing(self, round_index):
+        if not self.changed:
+            return None
+        return [self.value] * self.deg
+
+    def receive(self, round_index, inbox):
+        best = min([self.value] + [m for m in inbox if m is not None])
+        self.changed = best != self.value
+        self.value = best
+
+    def result(self):
+        return self.value

@@ -10,23 +10,43 @@ Algorithms naturally expressed round-by-round (Cole–Vishkin, Luby)
 use this engine; view-based algorithms use
 :class:`repro.local.views.ViewOracle` instead.  Section 2 of the paper
 notes the two are equivalent.
+
+Two execution paths share the exact same semantics:
+
+* the **object loop** below — one Python object per node, the oracle;
+* the **batched array path** — when a solver also supplies an
+  :class:`ArrayProgram` and the vector kernel backend is active, rounds
+  run whole-population at a time over flat per-slot numpy arrays in
+  :func:`repro.kernels.engine.run_array_program`: one gather across the
+  CSR delivery involution, one ``step_all``, active-set compaction as
+  nodes halt — no per-node Python in the loop.
+
+Results, ``halt_rounds``, round traces, and
+:class:`ConvergenceError` diagnostics are bit-identical across the two;
+``--kernels object`` always forces the oracle.
 """
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import Any, Callable, Protocol
 
 from repro import kernels
 from repro.local.algorithm import Instance
+from repro.obs import get_telemetry
 
 __all__ = [
+    "ArrayProgram",
     "NodeProtocol",
     "SyncEngine",
     "MessageRound",
     "EngineResult",
     "ConvergenceError",
 ]
+
+_LOG = logging.getLogger("repro.local.simulator")
+_WARNED_NO_ARRAY_BACKEND = False
 
 
 class ConvergenceError(RuntimeError):
@@ -70,6 +90,34 @@ class NodeProtocol(Protocol):
         ...
 
 
+class ArrayProgram(Protocol):
+    """Whole-population twin of :class:`NodeProtocol` for batched rounds.
+
+    An array program advances *every* node per call over flat per-slot
+    arrays aligned with the frozen CSR tables (see
+    :class:`repro.kernels.engine.SlotLayout`).  ``step_all(r, inbox)``
+    fuses the object protocol's ``receive`` of round ``r - 1`` (``inbox``
+    is ``None`` at round 0) with ``outgoing`` of round ``r``: it returns
+    the per-slot outbox array (first axis = total slots; any dtype or
+    payload width) plus an optional per-node halt mask — ``True`` where
+    the object node would return ``None`` this round.  Programs are
+    single-use: the engine builds one per run via the factory handed to
+    :class:`SyncEngine`.
+    """
+
+    def init_all(self, instance: Instance, layout: Any) -> None:  # pragma: no cover
+        """Set up per-node state arrays for one run."""
+        ...
+
+    def step_all(self, round_index: int, inbox: Any):  # pragma: no cover
+        """Process last round's inbox, emit this round's outbox + halts."""
+        ...
+
+    def results_all(self) -> list[Any]:  # pragma: no cover
+        """Per-node final outputs, matching the object nodes' results."""
+        ...
+
+
 @dataclass
 class MessageRound:
     index: int
@@ -96,15 +144,66 @@ class EngineResult:
         return list(self.halt_rounds)
 
 
-class SyncEngine:
-    """Runs node objects in lock-step synchronous rounds."""
+def _warn_no_array_backend() -> None:
+    global _WARNED_NO_ARRAY_BACKEND
+    if not _WARNED_NO_ARRAY_BACKEND:
+        _WARNED_NO_ARRAY_BACKEND = True
+        _LOG.warning(
+            "array node program degrades to the object round loop "
+            "(numpy is not importable; install the [fast] extra)"
+        )
 
-    def __init__(self, instance: Instance, node_factory: Callable[[int, Instance], NodeProtocol]):
+
+class SyncEngine:
+    """Runs node objects in lock-step synchronous rounds.
+
+    ``array_program`` is an optional zero-argument factory producing an
+    :class:`ArrayProgram`; when present and the vector kernel backend is
+    active, :meth:`run` executes the batched path instead of the object
+    loop.  Node-factory classes may also expose the factory as an
+    ``array_program`` attribute — it is discovered automatically, so
+    ``SyncEngine(instance, FloodNode)`` batches wherever the class ships
+    a twin.
+    """
+
+    def __init__(
+        self,
+        instance: Instance,
+        node_factory: Callable[[int, Instance], NodeProtocol],
+        array_program: Callable[[], ArrayProgram] | None = None,
+    ):
         self.instance = instance
         self.graph = instance.graph
-        self.nodes = [node_factory(v, instance) for v in self.graph.nodes()]
+        self._node_factory = node_factory
+        if array_program is None:
+            array_program = getattr(node_factory, "array_program", None)
+        self._array_program = array_program
+        self._nodes: list[NodeProtocol] | None = None
+
+    @property
+    def nodes(self) -> list[NodeProtocol]:
+        """The per-node objects, built on first use.
+
+        Lazy so the batched path never pays ``n`` object constructions
+        it will not consult.
+        """
+        if self._nodes is None:
+            self._nodes = [
+                self._node_factory(v, self.instance)
+                for v in self.graph.nodes()
+            ]
+        return self._nodes
 
     def run(self, max_rounds: int = 10_000) -> EngineResult:
+        if self._array_program is not None:
+            if kernels.vector_enabled():
+                from repro.kernels.engine import run_array_program
+
+                return run_array_program(
+                    self.instance, self._array_program(), max_rounds
+                )
+            if not kernels.HAVE_NUMPY:
+                _warn_no_array_backend()
         graph = self.graph
         nodes = self.nodes
         num_nodes = graph.num_nodes
@@ -122,6 +221,7 @@ class SyncEngine:
         halt_rounds = [0] * num_nodes
         trace: list[MessageRound] = []
         rounds = 0
+        active_total = 0
         for round_index in range(max_rounds):
             outboxes: list[list[Any] | None] = []
             append_outbox = outboxes.append
@@ -146,6 +246,7 @@ class SyncEngine:
             if active == 0:
                 break
             rounds += 1
+            active_total += active
             trace.append(MessageRound(round_index, active))
             # Deliver: the message leaving (u, p) arrives at the half-edge
             # across the edge.  Halted nodes send nothing; their neighbors
@@ -174,6 +275,10 @@ class SyncEngine:
                     node.receive(round_index, inboxes[v])
         else:
             raise ConvergenceError(max_rounds, sum(not h for h in halted), trace)
+        telemetry = get_telemetry()
+        telemetry.incr("engine.rounds", rounds)
+        telemetry.incr("engine.active_nodes", active_total)
+        telemetry.incr("kernels.object_rounds", rounds)
         return EngineResult(
             results=[node.result() for node in self.nodes],
             rounds=rounds,

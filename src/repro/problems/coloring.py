@@ -137,7 +137,12 @@ class LinialColoringSolver:
         def factory(v: int, inst: Instance):
             return _LinialNode(v, inst, schedule, target, id_space)
 
-        engine = SyncEngine(instance, factory)
+        def array_program():
+            from repro.kernels.programs import LinialProgram
+
+            return LinialProgram(schedule, target, id_space)
+
+        engine = SyncEngine(instance, factory, array_program=array_program)
         run = engine.run()
         outputs = proper_coloring_labeling(graph, run.results)
         return RunResult(

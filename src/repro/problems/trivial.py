@@ -119,12 +119,19 @@ class _ParityNode:
         return self.parity
 
 
+def _parity_array_program():
+    from repro.kernels.programs import ParityProgram
+
+    return ParityProgram()
+
+
 @register_solver(
     "parity-sync",
     problem="degree-parity",
     families=_ALL_FAMILIES,
     randomized=False,
     description="parity as a round-based node program (SyncEngine path)",
+    array_program=_parity_array_program,
 )
 class ParitySyncSolver:
     """Degree parity through the driver's SyncEngine adapter."""

@@ -80,7 +80,11 @@ class TrialRecord:
         )
 
 
-def dispatch_solver(solver_obj: Any, instance: Instance) -> RunResult:
+def dispatch_solver(
+    solver_obj: Any,
+    instance: Instance,
+    array_program: Callable[[], Any] | None = None,
+) -> RunResult:
     """Run a solver object on an instance, whatever its execution model.
 
     Three shapes are accepted, checked in order:
@@ -96,11 +100,21 @@ def dispatch_solver(solver_obj: Any, instance: Instance) -> RunResult:
       program; the adapter meters it through
       :class:`~repro.local.views.ViewOracle` and charges each node the
       largest radius it consulted.
+
+    ``array_program`` (usually the registry's
+    :attr:`~repro.runtime.registry.SolverInfo.array_program`, else the
+    solver object's own attribute) is the node program's batched twin;
+    the engine runs it instead of the object loop under the vector
+    kernel backend, with bit-identical records.
     """
     if hasattr(solver_obj, "solve"):
         return solver_obj.solve(instance)
     if hasattr(solver_obj, "node_factory"):
-        engine = SyncEngine(instance, solver_obj.node_factory)
+        if array_program is None:
+            array_program = getattr(solver_obj, "array_program", None)
+        engine = SyncEngine(
+            instance, solver_obj.node_factory, array_program=array_program
+        )
         engine_result = engine.run()
         outputs = solver_obj.finish(instance, engine_result)
         return RunResult(
@@ -381,7 +395,11 @@ class TrialBatch:
         telemetry.incr(f"kernels.{backend}_trials")
         with kernel_layer.active(backend):
             with telemetry.span("trial.solve"):
-                result = dispatch_solver(self._solver_factory(), instance)
+                result = dispatch_solver(
+                    self._solver_factory(),
+                    instance,
+                    self.solver_info.array_program,
+                )
             verified: bool | None = None
             if self._verify:
                 verified = True
@@ -427,7 +445,10 @@ class Runtime:
 
     def solve(self, solver: str, instance: Instance) -> RunResult:
         """Instantiate a registered solver and dispatch it on an instance."""
-        return dispatch_solver(registry.solver(solver).factory(), instance)
+        solver_info = registry.solver(solver)
+        return dispatch_solver(
+            solver_info.factory(), instance, solver_info.array_program
+        )
 
     def verify(
         self, problem: str, instance: Instance, result: RunResult
@@ -486,7 +507,9 @@ class Runtime:
         verified: bool | None = None
         with kernel_layer.active(backend):
             with telemetry.span("trial.solve"):
-                result = dispatch_solver(solver_info.factory(), instance)
+                result = dispatch_solver(
+                    solver_info.factory(), instance, solver_info.array_program
+                )
             if verify:
                 verified = True
                 try:

@@ -129,6 +129,12 @@ class SolverInfo:
     #: families).  The conformance suite exercises these through the
     #: unsound path (``check_sound=False``) and demands rejection.
     unsound_families: tuple[str, ...] = ()
+    #: Optional zero-argument factory producing the solver's
+    #: :class:`~repro.local.simulator.ArrayProgram` twin; the driver
+    #: hands it to :class:`~repro.local.simulator.SyncEngine` so
+    #: round-based node programs batch under the vector backend.  Must
+    #: defer numpy imports until called.
+    array_program: Callable[[], Any] | None = None
 
     def sound_on(self, family_name: str) -> bool:
         return family_name in self.families
@@ -250,6 +256,7 @@ def register_solver(
     randomized: bool | None = None,
     description: str = "",
     unsound_families: tuple[str, ...] | list[str] = (),
+    array_program: Callable[[], Any] | None = None,
 ):
     """Class/function decorator (or plain call) adding a solver entry.
 
@@ -260,6 +267,10 @@ def register_solver(
     class's ``randomized`` attribute.  ``unsound_families`` declares
     negative probe targets: families the solver executes on but whose
     outputs the verifier must reject (see :func:`unsound_triples`).
+    ``array_program`` (defaulting to the factory's own ``array_program``
+    attribute, when present) names the batched
+    :class:`~repro.local.simulator.ArrayProgram` twin of a
+    ``node_factory``-style solver.
     """
     overlap = set(families) & set(unsound_families)
     if overlap:
@@ -272,6 +283,9 @@ def register_solver(
         is_rand = randomized
         if is_rand is None:
             is_rand = bool(getattr(factory, "randomized", False))
+        program = array_program
+        if program is None:
+            program = getattr(factory, "array_program", None)
         _register(
             _SOLVERS,
             SolverInfo(
@@ -283,6 +297,7 @@ def register_solver(
                 description=description,
                 ref=_ref_of(factory),
                 unsound_families=tuple(unsound_families),
+                array_program=program,
             ),
         )
         return factory

@@ -293,16 +293,25 @@ class TestVectorKernelsDifferential:
     @given(multigraphs())
     @settings(max_examples=20, deadline=None)
     def test_engine_delivery_matches_object_backend(self, graph: PortGraph):
+        # _FloodNode ships an array twin, so under the vector backend it
+        # takes the batched path; _PlainFlood suppresses the twin and
+        # keeps the object loop's DeliveryPlan covered on the same runs.
+        class _PlainFlood(_FloodNode):
+            array_program = None
+
         instance = Instance(graph, sequential_ids(graph.num_nodes))
         try:
-            expected = SyncEngine(instance, _FloodNode).run(max_rounds=64)
+            expected = SyncEngine(instance, _PlainFlood).run(max_rounds=64)
         except Exception:
             return  # disconnected graphs never converge; skip those
         with kernels.active("vector"):
-            got = SyncEngine(instance, _FloodNode).run(max_rounds=64)
-        assert got.results == expected.results
-        assert got.rounds == expected.rounds
-        assert got.halt_rounds == expected.halt_rounds
+            plan = SyncEngine(instance, _PlainFlood).run(max_rounds=64)
+            batched = SyncEngine(instance, _FloodNode).run(max_rounds=64)
+        for got in (plan, batched):
+            assert got.results == expected.results
+            assert got.rounds == expected.rounds
+            assert got.halt_rounds == expected.halt_rounds
+            assert got.trace == expected.trace
 
     @given(multigraphs())
     @settings(max_examples=30, deadline=None)

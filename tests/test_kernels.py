@@ -14,6 +14,7 @@ import json
 import logging
 
 import pytest
+from hypothesis import given, settings
 
 from repro import kernels
 from repro.engine.runner import (
@@ -31,6 +32,7 @@ from repro.lcl.verifier import PreparedVerifier
 from repro.runtime import registry
 from repro.runtime.driver import InstanceCache, Runtime
 from repro.runtime.entrypoints import family_ref, solver_ref, verifier_ref
+from tests.conftest import multigraphs
 
 needs_numpy = pytest.mark.skipif(
     not kernels.HAVE_NUMPY, reason="vector kernels need numpy"
@@ -352,3 +354,140 @@ class TestKernelsRecordParity:
         plan = plan_experiment(PARITY_SPEC, num_shards=1)
         report = run_shard(plan.manifest(0), workers=2, kernels="auto")
         assert _counter_total(report.telemetry, "shm.cores_exported") == 0
+
+
+# -- batched array programs vs the object round loop --------------------------
+
+
+ARRAY_PARITY_SPEC = _registry_spec(
+    "kernels/degree-parity/parity-sync@cycle",
+    "parity-sync",
+    "degree-parity",
+    "cycle",
+    ns=(8, 16),
+    seeds=(0, 1),
+)
+
+LINIAL_SPEC = _registry_spec(
+    "kernels/4-coloring/linial@cubic",
+    "linial-4-coloring",
+    "4-coloring",
+    "cubic",
+    ns=(32, 64),
+    seeds=(0, 1),
+)
+
+
+@needs_numpy
+class TestArrayProgramDifferential:
+    """Batched node programs against the object loop on random graphs.
+
+    Every solver that ships an :class:`repro.local.simulator.ArrayProgram`
+    twin must produce bit-identical engine results — per-node outputs,
+    round counts, halting rounds, traces, and ConvergenceError
+    diagnostics — on multigraphs with self-loops, parallel edges,
+    irregular degrees, and staggered halts.
+    """
+
+    @given(multigraphs())
+    @settings(max_examples=30, deadline=None)
+    def test_min_flood_matches_everywhere(self, graph):
+        # min-id flooding converges on every graph (each component
+        # settles on its minimum), so parity holds with no exclusions.
+        from repro.local import Instance, SyncEngine
+        from repro.local.flood import MinIdFloodNode
+        from repro.local.identifiers import sequential_ids
+
+        instance = Instance(graph, sequential_ids(graph.num_nodes))
+        expected = SyncEngine(instance, MinIdFloodNode).run(max_rounds=64)
+        with kernels.active("vector"):
+            got = SyncEngine(instance, MinIdFloodNode).run(max_rounds=64)
+        assert got.results == expected.results
+        assert got.rounds == expected.rounds
+        assert got.halt_rounds == expected.halt_rounds
+        assert got.trace == expected.trace
+
+    @given(multigraphs())
+    @settings(max_examples=30, deadline=None)
+    def test_ecc_flood_matches_including_livelocks(self, graph):
+        # the delta-flood livelocks on some topologies (an early halter
+        # cuts the relay); both paths must then raise identically.
+        from repro.local import ConvergenceError, Instance, SyncEngine
+        from repro.local.flood import FloodNode
+        from repro.local.identifiers import sequential_ids
+
+        instance = Instance(graph, sequential_ids(graph.num_nodes))
+        try:
+            expected = SyncEngine(instance, FloodNode).run(max_rounds=48)
+        except ConvergenceError as err:
+            with kernels.active("vector"):
+                with pytest.raises(ConvergenceError) as excinfo:
+                    SyncEngine(instance, FloodNode).run(max_rounds=48)
+            assert excinfo.value.max_rounds == err.max_rounds
+            assert excinfo.value.active == err.active
+            assert excinfo.value.trace == err.trace
+            return
+        with kernels.active("vector"):
+            got = SyncEngine(instance, FloodNode).run(max_rounds=48)
+        assert got.results == expected.results
+        assert got.rounds == expected.rounds
+        assert got.halt_rounds == expected.halt_rounds
+        assert got.trace == expected.trace
+
+    @given(multigraphs(max_nodes=10, max_edges=16))
+    @settings(max_examples=30, deadline=None)
+    def test_linial_matches_on_multigraphs(self, graph):
+        from repro.local.algorithm import Instance
+        from repro.problems import LinialColoringSolver
+
+        instance = Instance.simple(graph)
+        expected = LinialColoringSolver().solve(instance)
+        with kernels.active("vector"):
+            got = LinialColoringSolver().solve(instance)
+        nodes = list(graph.nodes())
+        assert [got.outputs.node(v) for v in nodes] == [
+            expected.outputs.node(v) for v in nodes
+        ]
+        assert got.rounds == expected.rounds
+        assert got.node_radius == expected.node_radius
+        assert got.extras == expected.extras
+
+
+class TestArrayProgramRecordParity:
+    """Array-program solvers through the whole runtime stack."""
+
+    @pytest.mark.parametrize("spec", [ARRAY_PARITY_SPEC, LINIAL_SPEC])
+    def test_runtime_records_identical_across_backends(self, spec):
+        oracle = run_experiment(spec, workers=1, kernels="object")
+        for backend in ("vector", "auto"):
+            report = run_experiment(spec, workers=1, kernels=backend)
+            assert _record_keys(report) == _record_keys(oracle)
+
+    @pytest.mark.parametrize("num_shards", [1, 3])
+    def test_shard_records_identical_across_backends(self, num_shards):
+        oracle = run_experiment(LINIAL_SPEC, workers=1, kernels="object")
+        plan = plan_experiment(LINIAL_SPEC, num_shards=num_shards)
+        reports = [
+            run_shard(plan.manifest(i), workers=2, kernels="vector")
+            for i in range(num_shards)
+        ]
+        merged = merge_shard_reports(reports)
+        assert _record_keys(merged) == _record_keys(oracle)
+
+    @needs_numpy
+    def test_round_telemetry_splits_by_path(self):
+        obj = run_experiment(LINIAL_SPEC, workers=1, kernels="object")
+        vec = run_experiment(LINIAL_SPEC, workers=1, kernels="vector")
+        obj_tele = obj.as_dict()["telemetry"]
+        vec_tele = vec.as_dict()["telemetry"]
+        obj_rounds = _counter_total(obj_tele, "engine.rounds")
+        vec_rounds = _counter_total(vec_tele, "engine.rounds")
+        assert obj_rounds == vec_rounds > 0
+        assert _counter_total(obj_tele, "engine.active_nodes") == \
+            _counter_total(vec_tele, "engine.active_nodes") > 0
+        # the per-path counters are exclusive: each backend runs every
+        # engine round on exactly one of the two loops
+        assert _counter_total(obj_tele, "kernels.object_rounds") == obj_rounds
+        assert _counter_total(obj_tele, "kernels.array_rounds") == 0
+        assert _counter_total(vec_tele, "kernels.array_rounds") == vec_rounds
+        assert _counter_total(vec_tele, "kernels.object_rounds") == 0

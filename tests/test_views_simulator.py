@@ -4,9 +4,14 @@ from __future__ import annotations
 
 import pytest
 
+from repro import kernels
 from repro.generators import cycle, path
-from repro.local import Instance, PortGraph, SyncEngine, ViewOracle
+from repro.local import ConvergenceError, Instance, PortGraph, SyncEngine, ViewOracle
 from repro.local.identifiers import sequential_ids
+
+needs_numpy = pytest.mark.skipif(
+    not kernels.HAVE_NUMPY, reason="the batched engine path needs numpy"
+)
 
 
 class TestViewOracle:
@@ -62,39 +67,10 @@ class TestViewOracle:
         assert sub.num_edges == 4  # an arc of the cycle
 
 
-class _FloodNode:
-    """Counts rounds until it has heard from everyone (diameter probe).
-
-    Floods deltas: each round a node forwards only what it learned the
-    round before.  An id at distance d still arrives in exactly d
-    rounds, so heard sets, halting rounds, and results are identical to
-    re-broadcasting the full heard set — but messages stay
-    frontier-sized instead of ball-sized.
-    """
-
-    def __init__(self, v: int, instance: Instance):
-        self.v = v
-        self.n = instance.graph.num_nodes
-        self.degree = instance.graph.degree(v)
-        self.heard = {v}
-        self.fresh = frozenset((v,))
-        self.done_at: int | None = 0 if self.n == 1 else None
-
-    def outgoing(self, round_index):
-        if self.done_at is not None:
-            return None
-        return [self.fresh] * self.degree
-
-    def receive(self, round_index, inbox):
-        heard = self.heard
-        fresh = set().union(*(m for m in inbox if m)) - heard
-        heard |= fresh
-        self.fresh = frozenset(fresh)
-        if len(heard) == self.n:
-            self.done_at = round_index + 1
-
-    def result(self):
-        return self.done_at
+# The delta-flooding diameter probe now lives in the library (it grew a
+# batched twin); `tests.test_flat_core` and the simulator benchmark still
+# import it from here.
+from repro.local.flood import FloodNode as _FloodNode  # noqa: E402
 
 
 class TestSyncEngine:
@@ -116,6 +92,8 @@ class TestSyncEngine:
 
     def test_wrong_message_count_raises(self):
         class BadNode(_FloodNode):
+            array_program = None  # behaviour differs: keep the object loop
+
             def outgoing(self, round_index):
                 return []  # wrong: must equal degree
 
@@ -126,6 +104,8 @@ class TestSyncEngine:
 
     def test_nonconvergence_raises(self):
         class ForeverNode(_FloodNode):
+            array_program = None  # behaviour differs: keep the object loop
+
             def outgoing(self, round_index):
                 return [0] * self.degree
 
@@ -138,6 +118,8 @@ class TestSyncEngine:
         from repro.local import ConvergenceError
 
         class ForeverNode(_FloodNode):
+            array_program = None  # behaviour differs: keep the object loop
+
             def outgoing(self, round_index):
                 return [0] * self.degree
 
@@ -171,6 +153,8 @@ class TestSyncEngine:
         graph = disjoint_union(cycle(3), cycle(7))
 
         class ComponentFlood(_FloodNode):
+            array_program = None  # behaviour differs: keep the object loop
+
             def __init__(self, v: int, instance: Instance):
                 super().__init__(v, instance)
                 self.n = 3 if v < 3 else 7  # component size, not graph size
@@ -205,6 +189,121 @@ class TestSyncEngine:
         result = SyncEngine(instance, StaggeredNode).run()
         assert result.halt_rounds == [0, 1, 2, 3, 4]
         assert result.rounds == 4
+
+
+class TestArrayProgramEngine:
+    """The batched array path against the object loop it shadows."""
+
+    def _both(self, graph, node_factory, max_rounds=500):
+        import repro.kernels as kernels
+
+        instance = Instance(graph, sequential_ids(graph.num_nodes))
+        with kernels.active("object"):
+            expected = SyncEngine(instance, node_factory).run(max_rounds)
+        with kernels.active("vector"):
+            got = SyncEngine(instance, node_factory).run(max_rounds)
+        return expected, got
+
+    @needs_numpy
+    def test_flood_twins_match_object_loop(self):
+        from repro.local.flood import MinIdFloodNode
+
+        for graph in (cycle(10), cycle(33), PortGraph(1, [])):
+            for node_factory in (_FloodNode, MinIdFloodNode):
+                expected, got = self._both(graph, node_factory)
+                assert got.results == expected.results
+                assert got.rounds == expected.rounds
+                assert got.halt_rounds == expected.halt_rounds
+                assert got.trace == expected.trace
+
+    @needs_numpy
+    def test_staggered_halts_compact_the_active_set(self):
+        """A twin with per-node halt rounds keeps full trace parity."""
+        import numpy as np
+
+        class StaggeredNode:
+            def __init__(self, v: int, instance: Instance):
+                self.v = v
+                self.degree = instance.graph.degree(v)
+
+            def outgoing(self, round_index):
+                return None if round_index >= self.v else [0] * self.degree
+
+            def receive(self, round_index, inbox):
+                pass
+
+            def result(self):
+                return self.v
+
+        class StaggeredProgram:
+            def init_all(self, instance, layout):
+                self.layout = layout
+
+            def step_all(self, round_index, inbox):
+                layout = self.layout
+                halt = np.arange(layout.num_nodes) <= round_index
+                return np.zeros(layout.total, dtype=np.int64), halt
+
+            def results_all(self):
+                return list(range(self.layout.num_nodes))
+
+        import repro.kernels as kernels
+
+        graph = cycle(5)
+        instance = Instance(graph, sequential_ids(5))
+        expected = SyncEngine(instance, StaggeredNode).run()
+        with kernels.active("vector"):
+            got = SyncEngine(
+                instance, StaggeredNode, array_program=StaggeredProgram
+            ).run()
+        assert got.halt_rounds == expected.halt_rounds == [0, 1, 2, 3, 4]
+        assert got.rounds == expected.rounds == 4
+        assert got.trace == expected.trace
+        assert got.results == expected.results
+
+    @needs_numpy
+    def test_convergence_error_parity(self):
+        """Livelocks carry identical diagnostics on both paths.
+
+        The delta-flood genuinely livelocks on a path graph: the middle
+        node halts first and stops relaying, so the endpoints never
+        hear the far side.  Both engines must report the same failure.
+        """
+        import repro.kernels as kernels
+
+        errors = []
+        for backend in ("object", "vector"):
+            instance = Instance(path(9), sequential_ids(9))
+            with kernels.active(backend):
+                with pytest.raises(ConvergenceError) as excinfo:
+                    SyncEngine(instance, _FloodNode).run(max_rounds=40)
+            errors.append(excinfo.value)
+        expected, got = errors
+        assert got.max_rounds == expected.max_rounds == 40
+        assert got.active == expected.active
+        assert got.trace == expected.trace
+
+    def test_degrades_to_object_loop_without_numpy(self, monkeypatch, caplog):
+        """No numpy: the array seam falls back, warns once, same answers."""
+        import logging
+
+        import repro.kernels as kernels
+        from repro.local import simulator
+
+        monkeypatch.setattr(kernels, "HAVE_NUMPY", False)
+        monkeypatch.setattr(kernels, "_WARNED_NO_NUMPY", True)
+        monkeypatch.setattr(simulator, "_WARNED_NO_ARRAY_BACKEND", False)
+        graph = cycle(6)
+        with caplog.at_level(logging.WARNING, logger="repro.local.simulator"):
+            for _ in range(2):  # the warning must not repeat
+                instance = Instance(graph, sequential_ids(6))
+                result = SyncEngine(instance, _FloodNode).run()
+        assert result.results == [3] * 6
+        assert result.rounds == 3
+        degraded = [
+            rec for rec in caplog.records if "degrades" in rec.getMessage()
+        ]
+        assert len(degraded) == 1
 
 
 class TestInstance:
